@@ -1,0 +1,521 @@
+// Benchmarks regenerating the paper's tables and figures as wall-clock
+// measurements (one benchmark family per figure). The deterministic
+// simulated-cost versions of the same experiments live in
+// internal/experiments and are driven by cmd/greenbench; these benchmarks
+// provide the real-time evidence that the approximated versions do
+// proportionally less work on this machine.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package green_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"green"
+	"green/internal/approxmath"
+	"green/internal/blackscholes"
+	"green/internal/cga"
+	"green/internal/core"
+	"green/internal/dft"
+	"green/internal/metrics"
+	"green/internal/model"
+	"green/internal/raytracer"
+	"green/internal/search"
+	"green/internal/taskgraph"
+	"green/internal/workload"
+)
+
+// --- shared fixtures, built once ------------------------------------
+
+var (
+	searchOnce    sync.Once
+	searchEngine  *search.Engine
+	searchQueries []search.Query
+	searchErr     error
+)
+
+func searchFixture(b *testing.B) (*search.Engine, []search.Query) {
+	b.Helper()
+	searchOnce.Do(func() {
+		searchEngine, searchErr = search.NewEngine(search.Config{Seed: 42})
+		if searchErr != nil {
+			return
+		}
+		searchQueries, searchErr = searchEngine.GenerateQueries(43, 400)
+	})
+	if searchErr != nil {
+		b.Fatal(searchErr)
+	}
+	return searchEngine, searchQueries
+}
+
+// searchRefN is the M unit used by the benchmarks (a representative
+// document budget; the experiment driver derives it from the workload).
+const searchRefN = 800
+
+// BenchmarkFig06SearchCalibration measures the calibration phase: one
+// iteration processes one training query at every calibration knot.
+func BenchmarkFig06SearchCalibration(b *testing.B) {
+	e, qs := searchFixture(b)
+	knots := []float64{0.1, 0.5, 1, 2, 5, 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		precise, _ := e.Search(q, 10, 0)
+		for _, k := range knots {
+			approx, _ := e.Search(q, 10, int(k*searchRefN))
+			_ = metrics.QueryLoss(precise, approx)
+		}
+	}
+}
+
+// BenchmarkFig10Fig11SearchVersions measures per-query wall time of the
+// evaluated Bing Search versions (Figures 10/11 report throughput/energy
+// and QoS of exactly these versions).
+func BenchmarkFig10Fig11SearchVersions(b *testing.B) {
+	e, qs := searchFixture(b)
+	versions := []struct {
+		name    string
+		maxDocs int
+	}{
+		{"Base", 0},
+		{"M-10N", 10 * searchRefN},
+		{"M-2N", 2 * searchRefN},
+		{"M-N", searchRefN},
+	}
+	for _, v := range versions {
+		b.Run(v.name, func(b *testing.B) {
+			docs := 0
+			for i := 0; i < b.N; i++ {
+				_, n := e.Search(qs[i%len(qs)], 10, v.maxDocs)
+				docs += n
+			}
+			b.ReportMetric(float64(docs)/float64(b.N), "docs/query")
+		})
+	}
+	b.Run("M-PRO-0.5N", func(b *testing.B) {
+		period := searchRefN / 2
+		docs := 0
+		for i := 0; i < b.N; i++ {
+			s := e.NewScan(qs[i%len(qs)], 10)
+			var prev []int
+			for {
+				advanced := false
+				for j := 0; j < period; j++ {
+					if !s.Step() {
+						break
+					}
+					advanced = true
+				}
+				if !advanced {
+					break
+				}
+				cur := s.TopN()
+				if prev != nil && metrics.TopNExactMatch(prev, cur) {
+					break
+				}
+				prev = cur
+			}
+			docs += s.Processed()
+		}
+		b.ReportMetric(float64(docs)/float64(b.N), "docs/query")
+	})
+}
+
+// BenchmarkFig12QueueSimulation measures the closed-loop load sweep that
+// produces the success-rate-vs-QPS curves.
+func BenchmarkFig12QueueSimulation(b *testing.B) {
+	_, qs := searchFixture(b)
+	// Synthetic service times standing in for measured per-query times.
+	times := make([]float64, len(qs))
+	for i := range times {
+		times[i] = 0.005 + 0.00001*float64(i%300)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, load := range []float64{0.8, 1.0, 1.2} {
+			interval := times[0] / load
+			free, ok := 0.0, 0
+			for j, s := range times {
+				arrive := float64(j) * interval
+				if arrive > free {
+					free = arrive
+				}
+				free += s
+				if free-arrive <= 0.05 {
+					ok++
+				}
+			}
+			_ = ok
+		}
+	}
+}
+
+// BenchmarkFig13ModelTraining measures QoS-model construction from
+// calibration points (the training-set-size sensitivity experiment
+// rebuilds this model repeatedly).
+func BenchmarkFig13ModelTraining(b *testing.B) {
+	pts := make([]model.CalPoint, 64)
+	for i := range pts {
+		pts[i] = model.CalPoint{
+			Level:   float64((i + 1) * 100),
+			QoSLoss: 1 / float64(i+2),
+			Work:    float64((i + 1) * 100),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := model.BuildLoopModel("bench", pts, 1e6, 1e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.StaticParams(0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Recalibration measures one Green-controlled query with
+// runtime monitoring enabled — the recalibration experiment's inner loop.
+func BenchmarkFig14Recalibration(b *testing.B) {
+	e, qs := searchFixture(b)
+	pts := []model.CalPoint{
+		{Level: 0.1 * searchRefN, QoSLoss: 0.10, Work: 0.1 * searchRefN},
+		{Level: searchRefN, QoSLoss: 0.01, Work: searchRefN},
+		{Level: 10 * searchRefN, QoSLoss: 0.001, Work: 10 * searchRefN},
+	}
+	m, err := model.BuildLoopModel("search.match", pts, float64(e.Docs()), float64(e.Docs()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop, err := green.NewLoop(green.LoopConfig{
+		Name: "search.match", Model: m, SLA: 0.02, SampleInterval: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		exec, err := loop.Begin(&benchQueryQoS{engine: e, query: q})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := e.NewScan(q, 10)
+		j := 0
+		for exec.Continue(j) && s.Step() {
+			j++
+		}
+		exec.Finish(j)
+	}
+}
+
+type benchQueryQoS struct {
+	engine   *search.Engine
+	query    search.Query
+	recorded []int
+}
+
+func (q *benchQueryQoS) Record(iter int) {
+	q.recorded, _ = q.engine.Search(q.query, 10, iter)
+}
+
+func (q *benchQueryQoS) Loss(int) float64 {
+	precise, _ := q.engine.Search(q.query, 10, 0)
+	return metrics.QueryLoss(precise, q.recorded)
+}
+
+// BenchmarkFig15Fig16EonVersions measures one frame render per version
+// (N^2 samples per pixel).
+func BenchmarkFig15Fig16EonVersions(b *testing.B) {
+	scene := raytracer.NewScene(1)
+	cam := raytracer.RandomCamera(2)
+	for _, n := range []int{5, 7, 9, 10} {
+		name := fmt.Sprintf("N%d", n)
+		if n == 10 {
+			name = "Base"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rays int64
+			for i := 0; i < b.N; i++ {
+				_, r, err := raytracer.Render(scene, cam, 16, 12, n*n, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rays += r
+			}
+			b.ReportMetric(float64(rays)/float64(b.N), "rays/frame")
+		})
+	}
+}
+
+// BenchmarkFig17EonModelSensitivity measures the calibration sweep of one
+// training camera over the version knots.
+func BenchmarkFig17EonModelSensitivity(b *testing.B) {
+	scene := raytracer.NewScene(1)
+	for i := 0; i < b.N; i++ {
+		cam := raytracer.RandomCamera(int64(i))
+		r, err := raytracer.NewRenderer(scene, cam, 12, 9, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range []int{25, 49, 81} {
+			for r.Passes() < k {
+				r.Pass()
+			}
+			_ = r.Snapshot()
+		}
+	}
+}
+
+// BenchmarkFig18Fig19CGAVersions measures a GA run per generation cap on
+// one representative task graph.
+func BenchmarkFig18Fig19CGAVersions(b *testing.B) {
+	g, err := taskgraph.Random(7, 150, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, gens := range []int{100, 300, 600} {
+		name := fmt.Sprintf("G%d", gens)
+		if gens == 600 {
+			name = "Base"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ga, err := cga.New(g, cga.Config{Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ga.Run(gens); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig20CGAModelSensitivity measures one calibration run of the
+// generation-loop model.
+func BenchmarkFig20CGAModelSensitivity(b *testing.B) {
+	g, err := taskgraph.Random(9, 100, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ga, err := cga.New(g, cga.Config{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, knot := range []int{50, 100, 200} {
+			for ga.Generation() < knot {
+				if _, err := ga.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = ga.BestMakespan()
+		}
+	}
+}
+
+// BenchmarkFig21Fig22DFTVersions measures one transform per trig grade —
+// the C+S versions of Figures 21/22.
+func BenchmarkFig21Fig22DFTVersions(b *testing.B) {
+	sig := workload.Signal(5, 96)
+	grades := []struct {
+		name string
+		trig dft.Trig
+	}{
+		{"CS3.2", dft.Trig{Sin: approxmath.SinFn(approxmath.Trig32), Cos: approxmath.CosFn(approxmath.Trig32)}},
+		{"CS12.1", dft.Trig{Sin: approxmath.SinFn(approxmath.Trig121), Cos: approxmath.CosFn(approxmath.Trig121)}},
+		{"Base", dft.PreciseTrig()},
+	}
+	for _, g := range grades {
+		b.Run(g.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dft.Transform(sig, g.trig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig08ExpLogCalibration measures the function-calibration phase
+// behind Figures 8(a)/8(b): one iteration calibrates one argument across
+// all versions.
+func BenchmarkFig08ExpLogCalibration(b *testing.B) {
+	expFns := []core.Fn{approxmath.ExpTaylor(3), approxmath.ExpTaylor(4),
+		approxmath.ExpTaylor(5), approxmath.ExpTaylor(6)}
+	cal, err := green.NewFuncCalibration("exp", 18,
+		[]string{"e3", "e4", "e5", "e6"}, []float64{4, 5, 6, 7}, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := workload.UniformFloats(3, 1024, -2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := args[i%len(args)]
+		yp := math.Exp(x)
+		for v, fn := range expFns {
+			loss := math.Abs(fn(x)-yp) / yp
+			if err := cal.AddSample(v, x, loss); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig08cFig23Fig24Blackscholes measures portfolio pricing per
+// version (the evaluation of Figures 8c/23/24).
+func BenchmarkFig08cFig23Fig24Blackscholes(b *testing.B) {
+	opts := workload.Options(11, 1024)
+	versions := []struct {
+		name string
+		fns  blackscholes.MathFns
+	}{
+		{"Base", blackscholes.MathFns{}},
+		{"e3", blackscholes.MathFns{Exp: approxmath.ExpTaylor(3)}},
+		{"e6+lg4", blackscholes.MathFns{Exp: approxmath.ExpTaylor(6), Log: approxmath.LogTaylor(4)}},
+	}
+	for _, v := range versions {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := blackscholes.PricePortfolio(opts, v.fns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The range-based e(cb) version via the Func controller.
+	b.Run("ecb", func(b *testing.B) {
+		fm := benchExpModel(b)
+		f, err := green.NewFunc(green.FuncConfig{Name: "exp", Model: fm, SLA: 0.01},
+			math.Exp, []core.Fn{approxmath.ExpTaylor(3), approxmath.ExpTaylor(4),
+				approxmath.ExpTaylor(5), approxmath.ExpTaylor(6)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fns := blackscholes.MathFns{Exp: f.Call}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := blackscholes.PricePortfolio(opts, fns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchExpModel(b *testing.B) *green.FuncModel {
+	b.Helper()
+	expFns := []core.Fn{approxmath.ExpTaylor(3), approxmath.ExpTaylor(4),
+		approxmath.ExpTaylor(5), approxmath.ExpTaylor(6)}
+	cal, err := green.NewFuncCalibration("exp", 18,
+		[]string{"e3", "e4", "e5", "e6"}, []float64{4, 5, 6, 7}, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cal.Calibrate(math.Exp, expFns,
+		workload.UniformFloats(3, 2048, -2.5, 0.5), nil); err != nil {
+		b.Fatal(err)
+	}
+	m, err := cal.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkOverhead measures the §4.1 claim directly: the per-iteration
+// cost of the Green decision check with approximation forced off,
+// compared with the plain loop.
+func BenchmarkOverheadPlainLoop(b *testing.B) {
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		x := float64(i%97)*1e-3 + 1.1
+		for k := 0; k < 8; k++ {
+			x = math.Sqrt(x*x + float64(k))
+		}
+		sink += x
+	}
+	_ = sink
+}
+
+func BenchmarkOverheadGreenLoop(b *testing.B) {
+	pts := []model.CalPoint{
+		{Level: 100, QoSLoss: 0.1, Work: 100},
+		{Level: 1000, QoSLoss: 0.01, Work: 1000},
+	}
+	m, err := model.BuildLoopModel("bench", pts, 1e9, 1e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop, err := green.NewLoop(green.LoopConfig{
+		Name: "bench", Model: m, SLA: 0.02, SampleInterval: 100, Disabled: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec, err := loop.Begin(benchNoopQoS{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N && exec.Continue(i); i++ {
+		x := float64(i%97)*1e-3 + 1.1
+		for k := 0; k < 8; k++ {
+			x = math.Sqrt(x*x + float64(k))
+		}
+		sink += x
+	}
+	_ = sink
+}
+
+type benchNoopQoS struct{}
+
+func (benchNoopQoS) Record(int)       {}
+func (benchNoopQoS) Loss(int) float64 { return 0 }
+
+// BenchmarkBackoffConvergence measures a full global-recalibration
+// convergence episode on the synthetic interacting units (§3.4.2).
+func BenchmarkBackoffConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app, err := green.NewApp(green.AppConfig{SLA: 0.02, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk := func(name string) *green.Loop {
+			pts := []model.CalPoint{
+				{Level: 100, QoSLoss: 0.02, Work: 100},
+				{Level: 800, QoSLoss: 0.002, Work: 800},
+			}
+			m, err := model.BuildLoopModel(name, pts, 1600, 1600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := green.NewLoop(green.LoopConfig{Name: name, Model: m, SLA: 0.02, Step: 100})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return l
+		}
+		l1, l2 := mk("u1"), mk("u2")
+		app.Register(l1)
+		app.Register(l2)
+		for obs := 0; obs < 20; obs++ {
+			loss := 2.0/l1.Level() + 2.0/l2.Level()
+			if l1.Level() < 250 && l2.Level() < 250 {
+				loss *= 4
+			}
+			if loss <= 0.02 {
+				break
+			}
+			app.ObserveAppQoS(loss)
+		}
+	}
+}

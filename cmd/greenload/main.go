@@ -1,0 +1,61 @@
+// Command greenload drives a running greenserve instance with an
+// open-loop query load and reports latency percentiles and deadline
+// success — the Figure 12 measurement methodology over the real HTTP
+// stack.
+//
+// Usage:
+//
+//	greenload -url http://localhost:8080 -qps 200 -duration 10s -deadline 50ms
+//	greenload -url ... -sweep 50,100,200,400      # success rate per offered QPS
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"green/internal/loadgen"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://localhost:8080", "greenserve base URL")
+		qps      = flag.Float64("qps", 100, "offered queries per second")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		deadline = flag.Duration("deadline", 100*time.Millisecond, "per-request latency SLA")
+		sweep    = flag.String("sweep", "", "comma-separated QPS list; overrides -qps")
+		seed     = flag.Int64("seed", 1, "query-mix seed")
+	)
+	flag.Parse()
+
+	rates := []float64{*qps}
+	if *sweep != "" {
+		rates = rates[:0]
+		for _, s := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "greenload: bad sweep value %q\n", s)
+				os.Exit(2)
+			}
+			rates = append(rates, v)
+		}
+	}
+	for _, rate := range rates {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  *baseURL,
+			QPS:      rate,
+			Duration: *duration,
+			Deadline: *deadline,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatalf("greenload: %v", err)
+		}
+		fmt.Printf("offered %6.1f qps: %s\n", rate, res)
+	}
+}

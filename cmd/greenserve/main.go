@@ -1,0 +1,61 @@
+// Command greenserve runs the Green-approximated search back-end as an
+// HTTP service — the web-service-with-SLA deployment the paper motivates.
+//
+// Usage:
+//
+//	greenserve -addr :8080 -sla 0.02
+//
+// Endpoints: /search?q=..., /stats, /config, /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"green/internal/search"
+	"green/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		sla       = flag.Float64("sla", 0.02, "fraction of queries allowed a changed result page")
+		seed      = flag.Int64("seed", 42, "corpus seed")
+		saveIndex = flag.String("save-index", "", "build the corpus, write the index here, and exit")
+	)
+	flag.Parse()
+
+	if *saveIndex != "" {
+		log.Printf("building corpus (seed %d)...", *seed)
+		e, err := search.NewEngine(search.Config{Seed: *seed})
+		if err != nil {
+			log.Fatalf("greenserve: %v", err)
+		}
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			log.Fatalf("greenserve: %v", err)
+		}
+		n, err := e.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatalf("greenserve: %v", err)
+		}
+		log.Printf("wrote %d-byte index to %s", n, *saveIndex)
+		return
+	}
+
+	log.Printf("building corpus and calibrating (seed %d)...", *seed)
+	s, err := serve.New(serve.Config{SLA: *sla, Seed: *seed})
+	if err != nil {
+		log.Fatalf("greenserve: %v", err)
+	}
+	log.Printf("calibrated: SLA %.2f%% -> initial M = %.0f documents",
+		*sla*100, s.Loop().Level())
+	fmt.Printf("listening on %s (try /search?q=hello+world, /stats)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

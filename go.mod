@@ -1,0 +1,3 @@
+module green
+
+go 1.22

@@ -1,0 +1,203 @@
+package green_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"green"
+)
+
+// piQoS implements green.LoopQoS and green.DeltaQoS over the Leibniz pi
+// series: the QoS metric is the current partial-sum estimate.
+type piQoS struct {
+	estimate func(iter int) float64
+	recorded float64
+	prev     float64
+}
+
+func (q *piQoS) Record(iter int) { q.recorded = q.estimate(iter) }
+func (q *piQoS) Loss(iter int) float64 {
+	final := q.estimate(iter)
+	if final == 0 {
+		return 0
+	}
+	return math.Abs(q.recorded-final) / math.Abs(final)
+}
+func (q *piQoS) Delta(iter int) float64 {
+	cur := q.estimate(iter)
+	d := math.Abs(cur - q.prev)
+	q.prev = cur
+	return d
+}
+
+// leibniz returns a partial-sum evaluator with memoized prefix sums.
+func leibniz(n int) func(int) float64 {
+	sums := make([]float64, n+1)
+	sign := 1.0
+	for i := 0; i < n; i++ {
+		sums[i+1] = sums[i] + sign/float64(2*i+1)
+		sign = -sign
+	}
+	return func(iter int) float64 {
+		if iter > n {
+			iter = n
+		}
+		return 4 * sums[iter]
+	}
+}
+
+// TestEndToEndPiLoop reproduces the paper's running example (Figure 3):
+// calibrate the pi-estimation loop, build the QoS model, approximate at an
+// SLA, and check the real loss.
+func TestEndToEndPiLoop(t *testing.T) {
+	const base = 100000
+	est := leibniz(base)
+	exact := est(base)
+
+	// Calibration phase.
+	knots := []float64{1000, 2000, 5000, 10000, 20000, 50000}
+	cal, err := green.NewLoopCalibration("pi", knots, base, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := make([]float64, len(knots))
+	work := make([]float64, len(knots))
+	for i, k := range knots {
+		losses[i] = math.Abs(est(int(k))-exact) / math.Abs(exact)
+		work[i] = k
+	}
+	if err := cal.AddRun(losses, work); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Operational phase.
+	const sla = 1e-4
+	loop, err := green.NewLoop(green.LoopConfig{
+		Name: "pi", Model: m, SLA: sla, Mode: green.Static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &piQoS{estimate: est}
+	exec, err := loop.Begin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for ; i < base; i++ {
+		if !exec.Continue(i) {
+			break
+		}
+	}
+	res := exec.Finish(i)
+	if !res.Approximated {
+		t.Fatal("loop did not approximate")
+	}
+	if i >= base {
+		t.Fatal("no iterations saved")
+	}
+	trueLoss := math.Abs(est(i)-exact) / math.Abs(exact)
+	if trueLoss > sla*2 {
+		t.Errorf("true loss %v at M=%d grossly exceeds SLA %v", trueLoss, i, sla)
+	}
+	t.Logf("pi: stopped at %d/%d iterations, true loss %.2g (SLA %.2g)",
+		i, base, trueLoss, sla)
+}
+
+// TestEndToEndFuncExp approximates math.Exp with Taylor versions through
+// the public API and verifies the selected version respects the SLA over
+// the calibrated domain.
+func TestEndToEndFuncExp(t *testing.T) {
+	taylor := func(deg int) green.Fn {
+		return func(x float64) float64 {
+			sum, term := 1.0, 1.0
+			for k := 1; k <= deg; k++ {
+				term *= x / float64(k)
+				sum += term
+			}
+			return sum
+		}
+	}
+	versions := []green.Fn{taylor(3), taylor(4), taylor(5)}
+	names := []string{"exp(3)", "exp(4)", "exp(5)"}
+	workUnits := []float64{4, 5, 6}
+
+	cal, err := green.NewFuncCalibration("exp", 18, names, workUnits, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []float64
+	for x := -2.0; x <= 2.0; x += 0.01 {
+		inputs = append(inputs, x)
+	}
+	if err := cal.Calibrate(math.Exp, versions, inputs, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sla = 0.01
+	f, err := green.NewFunc(green.FuncConfig{
+		Name: "exp", Model: m, SLA: sla,
+	}, math.Exp, versions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approxUsed := 0
+	for _, x := range inputs {
+		got := f.Call(x)
+		loss := math.Abs(got-math.Exp(x)) / math.Exp(x)
+		// Individual losses may slightly exceed the binned average near
+		// range edges; allow modest slack.
+		if loss > sla*3 {
+			t.Errorf("loss %v at x=%v exceeds SLA %v", loss, x, sla)
+		}
+		if got != math.Exp(x) {
+			approxUsed++
+		}
+	}
+	if approxUsed == 0 {
+		t.Error("approximation never engaged")
+	}
+	t.Logf("exp: approximated %d/%d calls", approxUsed, len(inputs))
+}
+
+// ExampleNewLoop demonstrates the paper's Figure 3 pi-estimation loop in
+// library form.
+func ExampleNewLoop() {
+	const base = 10000
+	est := leibniz(base)
+	exact := est(base)
+
+	knots := []float64{500, 1000, 2000, 5000}
+	cal, _ := green.NewLoopCalibration("pi", knots, base, base)
+	losses := make([]float64, len(knots))
+	work := make([]float64, len(knots))
+	for i, k := range knots {
+		losses[i] = math.Abs(est(int(k))-exact) / math.Abs(exact)
+		work[i] = k
+	}
+	cal.AddRun(losses, work)
+	m, _ := cal.Build()
+
+	loop, _ := green.NewLoop(green.LoopConfig{
+		Name: "pi", Model: m, SLA: 1e-3, Mode: green.Static,
+	})
+	exec, _ := loop.Begin(&piQoS{estimate: est})
+	i := 0
+	for ; i < base; i++ {
+		if !exec.Continue(i) {
+			break
+		}
+	}
+	exec.Finish(i)
+	fmt.Printf("saved %v%% of iterations\n", 100*(base-i)/base)
+	// Output: saved 95% of iterations
+}

@@ -1,0 +1,254 @@
+// Package approxmath provides the graded approximate math functions used
+// by the paper's DFT and blackscholes experiments:
+//
+//   - sin/cos polynomial approximations at six accuracy grades (nominally
+//     3.2, 5.2, 7.3, 12.1, 14.7 and 20.2 decimal digits, following the
+//     approximation families in Ganssle's "A Guide to Approximations" that
+//     the paper cites as [9]); the precise version is the Go standard
+//     library (the paper calls this 23.1 digits — float64 saturates near
+//     16, which only matters for the two highest grades),
+//   - exp approximated by Taylor expansions of maximal degree 3..6, and
+//   - log approximated by Taylor expansions around 1 of maximal degree
+//     2..4,
+//
+// exactly the function families whose QoS/performance tradeoffs Figures 8
+// and 21–24 of the paper explore.
+//
+// Each grade also exposes a *term count* used by the simulated cost model
+// (internal/energy): fewer polynomial terms mean proportionally less work.
+package approxmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrigGrade selects one of the graded sin/cos approximations.
+type TrigGrade int
+
+// Trig grades in increasing accuracy. TrigPrecise delegates to math.Cos /
+// math.Sin.
+const (
+	Trig32  TrigGrade = iota // ~3.2 decimal digits
+	Trig52                   // ~5.2 decimal digits
+	Trig73                   // ~7.3 decimal digits
+	Trig121                  // ~12.1 decimal digits
+	Trig147                  // ~14.7 decimal digits
+	Trig202                  // ~20.2 decimal digits (saturates at float64)
+	TrigPrecise
+)
+
+// TrigGrades lists all approximate grades in increasing accuracy,
+// excluding TrigPrecise.
+var TrigGrades = []TrigGrade{Trig32, Trig52, Trig73, Trig121, Trig147, Trig202}
+
+// Digits returns the nominal decimal-digit accuracy of the grade as
+// labeled in the paper's DFT experiment (Figures 21/22).
+func (g TrigGrade) Digits() float64 {
+	switch g {
+	case Trig32:
+		return 3.2
+	case Trig52:
+		return 5.2
+	case Trig73:
+		return 7.3
+	case Trig121:
+		return 12.1
+	case Trig147:
+		return 14.7
+	case Trig202:
+		return 20.2
+	default:
+		return 23.1
+	}
+}
+
+// Terms returns the number of polynomial coefficients the grade evaluates;
+// this drives the simulated cost model. The precise grade is charged the
+// equivalent of a high-degree polynomial, matching the paper's observation
+// that library sin/cos "can be expensive".
+func (g TrigGrade) Terms() int {
+	if int(g) >= 0 && int(g) < len(cosCoeffs) {
+		return len(cosCoeffs[g])
+	}
+	return 14 // math.Cos cost equivalent
+}
+
+// String implements fmt.Stringer using the paper's labels, e.g. "3.2".
+func (g TrigGrade) String() string {
+	if g == TrigPrecise {
+		return "base"
+	}
+	return fmt.Sprintf("%.1f", g.Digits())
+}
+
+// cosCoeffs[g] holds the even-power polynomial coefficients of the grade's
+// approximation to cos on the reduced range [0, pi/2]:
+//
+//	cos(x) ~= c0 + c1*x^2 + c2*x^4 + ...
+//
+// Grades 3.2–12.1 use Ganssle's minimax coefficient sets; grades 14.7 and
+// 20.2 use truncated Taylor coefficients with enough terms to reach the
+// nominal accuracy on the reduced range (truncation error (pi/2)^(2k)/(2k)!
+// past the last kept term).
+var cosCoeffs = [...][]float64{
+	Trig32: {0.99940307, -0.49558072, 0.03679168},
+	Trig52: {0.9999932946, -0.4999124376, 0.0414877472, -0.0012712095},
+	Trig73: {0.999999953464, -0.499999053455, 0.0416635846769,
+		-0.0013853704264, 0.00002315393167},
+	Trig121: {0.99999999999925182, -0.49999999997024012, 0.041666666473384543,
+		-0.001388888418000423, 0.0000248010406484558,
+		-0.0000002752469638432, 0.0000000019907856854},
+	Trig147: taylorCos(10), // through x^18
+	Trig202: taylorCos(13), // through x^24
+}
+
+// taylorCos returns the first n Taylor coefficients of cos in x^2:
+// 1, -1/2!, 1/4!, ...
+func taylorCos(n int) []float64 {
+	cs := make([]float64, n)
+	c := 1.0
+	for k := 0; k < n; k++ {
+		cs[k] = c
+		c = -c / float64((2*k+1)*(2*k+2))
+	}
+	return cs
+}
+
+// evalEven evaluates a polynomial in x^2 by Horner's rule.
+func evalEven(cs []float64, x float64) float64 {
+	x2 := x * x
+	r := cs[len(cs)-1]
+	for i := len(cs) - 2; i >= 0; i-- {
+		r = r*x2 + cs[i]
+	}
+	return r
+}
+
+const twoPi = 2 * math.Pi
+
+// cosGrade computes cos(x) at the given grade using quadrant range
+// reduction onto [0, pi/2] and the grade's polynomial. The reduction uses
+// a floor-based remainder, which is substantially cheaper than math.Mod
+// in this hot path.
+func cosGrade(g TrigGrade, x float64) float64 {
+	cs := cosCoeffs[g]
+	if x < 0 {
+		x = -x // cos is even
+	}
+	if x >= twoPi {
+		x -= twoPi * math.Floor(x/twoPi)
+	}
+	switch quadrant := int(x / (math.Pi / 2)); quadrant {
+	case 0:
+		return evalEven(cs, x)
+	case 1:
+		return -evalEven(cs, math.Pi-x)
+	case 2:
+		return -evalEven(cs, x-math.Pi)
+	default: // 3, and the x == 2*pi boundary
+		return evalEven(cs, twoPi-x)
+	}
+}
+
+// CosFn returns the cosine implementation for grade g.
+func CosFn(g TrigGrade) func(float64) float64 {
+	if g == TrigPrecise {
+		return math.Cos
+	}
+	if int(g) < 0 || int(g) >= len(cosCoeffs) {
+		panic(fmt.Sprintf("approxmath: invalid trig grade %d", g))
+	}
+	return func(x float64) float64 { return cosGrade(g, x) }
+}
+
+// SinFn returns the sine implementation for grade g, derived from the
+// cosine approximation by the phase identity sin(x) = cos(x - pi/2).
+func SinFn(g TrigGrade) func(float64) float64 {
+	if g == TrigPrecise {
+		return math.Sin
+	}
+	cos := CosFn(g)
+	return func(x float64) float64 { return cos(x - math.Pi/2) }
+}
+
+// MaxExpDegree and related bounds for the Taylor families.
+const (
+	MinExpDegree = 1
+	MaxExpDegree = 30
+	MinLogDegree = 1
+	MaxLogDegree = 30
+)
+
+// ExpTaylor returns exp approximated by its Taylor expansion truncated at
+// maximal degree deg:
+//
+//	exp(x) ~= 1 + x + x^2/2! + ... + x^deg/deg!
+//
+// The paper's blackscholes experiment uses degrees 3 through 6 (labelled
+// exp(3)..exp(6)); the degree is the number the paper puts in parentheses.
+func ExpTaylor(deg int) func(float64) float64 {
+	if deg < MinExpDegree || deg > MaxExpDegree {
+		panic(fmt.Sprintf("approxmath: exp Taylor degree %d out of range", deg))
+	}
+	// Precompute reciprocal factorials once.
+	cs := make([]float64, deg+1)
+	f := 1.0
+	for k := 0; k <= deg; k++ {
+		if k > 0 {
+			f *= float64(k)
+		}
+		cs[k] = 1 / f
+	}
+	return func(x float64) float64 {
+		r := cs[deg]
+		for i := deg - 1; i >= 0; i-- {
+			r = r*x + cs[i]
+		}
+		return r
+	}
+}
+
+// ExpTerms returns the polynomial term count of ExpTaylor(deg), for the
+// cost model.
+func ExpTerms(deg int) int { return deg + 1 }
+
+// PreciseExpTerms is the cost-model term-equivalent charged for math.Exp.
+const PreciseExpTerms = 18
+
+// LogTaylor returns the natural logarithm approximated by the Taylor
+// expansion of log(1+y) around y = x-1, truncated at maximal degree deg:
+//
+//	log(x) ~= (x-1) - (x-1)^2/2 + ... ± (x-1)^deg/deg
+//
+// The paper's blackscholes experiment uses degrees 2 through 4 (labelled
+// log(2)..log(4)). The expansion is accurate near x = 1, which is where
+// blackscholes evaluates log (spot/strike ratios).
+func LogTaylor(deg int) func(float64) float64 {
+	if deg < MinLogDegree || deg > MaxLogDegree {
+		panic(fmt.Sprintf("approxmath: log Taylor degree %d out of range", deg))
+	}
+	cs := make([]float64, deg+1)
+	for k := 1; k <= deg; k++ {
+		c := 1 / float64(k)
+		if k%2 == 0 {
+			c = -c
+		}
+		cs[k] = c
+	}
+	return func(x float64) float64 {
+		y := x - 1
+		r := cs[deg]
+		for i := deg - 1; i >= 0; i-- {
+			r = r*y + cs[i]
+		}
+		return r
+	}
+}
+
+// LogTerms returns the polynomial term count of LogTaylor(deg), for the
+// cost model.
+func LogTerms(deg int) int { return deg }
+
+// PreciseLogTerms is the cost-model term-equivalent charged for math.Log.
+const PreciseLogTerms = 18

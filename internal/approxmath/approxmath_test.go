@@ -1,0 +1,289 @@
+package approxmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// maxErrOn scans f against ref on [lo, hi] and returns the max absolute
+// error.
+func maxErrOn(f, ref func(float64) float64, lo, hi float64, n int) float64 {
+	maxe := 0.0
+	for i := 0; i <= n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n)
+		e := math.Abs(f(x) - ref(x))
+		if e > maxe {
+			maxe = e
+		}
+	}
+	return maxe
+}
+
+func TestCosGradeAccuracy(t *testing.T) {
+	// Each grade must achieve (at least nearly) its nominal digit count
+	// on the primary range, and each higher grade must not be less
+	// accurate than the previous one. float64 saturates around 15.9
+	// digits, so the two highest grades are capped there.
+	cases := []struct {
+		g         TrigGrade
+		minDigits float64
+	}{
+		{Trig32, 3.0},
+		{Trig52, 5.0},
+		{Trig73, 7.0},
+		{Trig121, 11.8},
+		{Trig147, 14.0},
+		{Trig202, 15.0},
+	}
+	for _, c := range cases {
+		e := maxErrOn(CosFn(c.g), math.Cos, -2*math.Pi, 2*math.Pi, 20000)
+		digits := -math.Log10(e + 1e-300)
+		if digits < c.minDigits {
+			t.Errorf("grade %v: max err %.3g (%.1f digits), want >= %.1f digits",
+				c.g, e, digits, c.minDigits)
+		}
+	}
+}
+
+func TestCosGradesMonotoneAccuracy(t *testing.T) {
+	prev := math.Inf(1)
+	for _, g := range TrigGrades {
+		e := maxErrOn(CosFn(g), math.Cos, -2*math.Pi, 2*math.Pi, 5000)
+		// Allow tiny FP slack between the saturated top grades.
+		if e > prev+1e-15 {
+			t.Errorf("grade %v err %.3g worse than previous %.3g", g, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSinGradeAccuracy(t *testing.T) {
+	for _, g := range TrigGrades {
+		e := maxErrOn(SinFn(g), math.Sin, -2*math.Pi, 2*math.Pi, 20000)
+		// sin shares the cos polynomial; same accuracy class expected.
+		digits := -math.Log10(e + 1e-300)
+		if digits < g.Digits()-0.7 && digits < 15.0 {
+			t.Errorf("sin grade %v: only %.1f digits", g, digits)
+		}
+	}
+}
+
+func TestTrigPrecise(t *testing.T) {
+	for _, x := range []float64{-7, -1, 0, 0.5, 3, 100} {
+		if got := CosFn(TrigPrecise)(x); got != math.Cos(x) {
+			t.Errorf("precise cos(%v) = %v", x, got)
+		}
+		if got := SinFn(TrigPrecise)(x); got != math.Sin(x) {
+			t.Errorf("precise sin(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestTrigRangeReductionContinuity(t *testing.T) {
+	// Values just either side of each quadrant boundary should be close,
+	// i.e. the quadrant stitching is continuous.
+	cos := CosFn(Trig73)
+	for _, b := range []float64{math.Pi / 2, math.Pi, 3 * math.Pi / 2, 2 * math.Pi} {
+		lo := cos(b - 1e-9)
+		hi := cos(b + 1e-9)
+		if math.Abs(lo-hi) > 1e-6 {
+			t.Errorf("discontinuity at %v: %v vs %v", b, lo, hi)
+		}
+	}
+}
+
+func TestTrigGradeMetadata(t *testing.T) {
+	if len(TrigGrades) != 6 {
+		t.Fatalf("expected 6 approximate grades, got %d", len(TrigGrades))
+	}
+	prevTerms := 0
+	for _, g := range TrigGrades {
+		if g.Terms() <= prevTerms {
+			t.Errorf("grade %v terms %d not increasing", g, g.Terms())
+		}
+		prevTerms = g.Terms()
+		if g.Digits() <= 0 {
+			t.Errorf("grade %v digits %v", g, g.Digits())
+		}
+	}
+	if TrigPrecise.String() != "base" {
+		t.Errorf("precise label = %q", TrigPrecise.String())
+	}
+	if Trig32.String() != "3.2" {
+		t.Errorf("3.2 label = %q", Trig32.String())
+	}
+	if TrigPrecise.Terms() <= Trig202.Terms()-3 {
+		t.Errorf("precise terms %d should not be much cheaper than best approx %d",
+			TrigPrecise.Terms(), Trig202.Terms())
+	}
+}
+
+func TestCosFnPanicsOnInvalidGrade(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid grade")
+		}
+	}()
+	CosFn(TrigGrade(99))
+}
+
+func TestExpTaylorAccuracyOrdering(t *testing.T) {
+	// On the blackscholes-relevant range [-1.5, 1.5], higher degrees are
+	// uniformly more accurate.
+	prev := math.Inf(1)
+	for deg := 3; deg <= 6; deg++ {
+		e := maxErrOn(ExpTaylor(deg), math.Exp, -1.5, 1.5, 4000)
+		if e >= prev {
+			t.Errorf("exp(%d) max err %.3g not better than exp(%d) %.3g",
+				deg, e, deg-1, prev)
+		}
+		prev = e
+	}
+	// exp(6) should be quite good near zero.
+	if e := maxErrOn(ExpTaylor(6), math.Exp, -0.5, 0.5, 1000); e > 1e-5 {
+		t.Errorf("exp(6) err near 0 = %.3g", e)
+	}
+}
+
+func TestExpTaylorExactAtZero(t *testing.T) {
+	for deg := 1; deg <= 8; deg++ {
+		if got := ExpTaylor(deg)(0); got != 1 {
+			t.Errorf("exp_%d(0) = %v, want 1", deg, got)
+		}
+	}
+}
+
+func TestLogTaylorAccuracyOrdering(t *testing.T) {
+	prev := math.Inf(1)
+	for deg := 2; deg <= 4; deg++ {
+		e := maxErrOn(LogTaylor(deg), math.Log, 0.7, 1.4, 4000)
+		if e >= prev {
+			t.Errorf("log(%d) max err %.3g not better than log(%d) %.3g",
+				deg, e, deg-1, prev)
+		}
+		prev = e
+	}
+}
+
+func TestLogTaylorExactAtOne(t *testing.T) {
+	for deg := 1; deg <= 8; deg++ {
+		if got := LogTaylor(deg)(1); got != 0 {
+			t.Errorf("log_%d(1) = %v, want 0", deg, got)
+		}
+	}
+}
+
+func TestExpLogDegreeBounds(t *testing.T) {
+	for _, deg := range []int{0, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpTaylor(%d) did not panic", deg)
+				}
+			}()
+			ExpTaylor(deg)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LogTaylor(%d) did not panic", deg)
+				}
+			}()
+			LogTaylor(deg)
+		}()
+	}
+}
+
+func TestTermCounts(t *testing.T) {
+	if ExpTerms(3) != 4 || ExpTerms(6) != 7 {
+		t.Errorf("ExpTerms wrong: %d, %d", ExpTerms(3), ExpTerms(6))
+	}
+	if LogTerms(2) != 2 || LogTerms(4) != 4 {
+		t.Errorf("LogTerms wrong: %d, %d", LogTerms(2), LogTerms(4))
+	}
+	if PreciseExpTerms <= ExpTerms(6) || PreciseLogTerms <= LogTerms(4) {
+		t.Error("precise cost must exceed best approximation cost")
+	}
+}
+
+// Property: every approximate cos stays within [-1-eps, 1+eps] after range
+// reduction (the low-grade polynomials overshoot only slightly).
+func TestCosBoundedProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+			return true
+		}
+		for _, g := range TrigGrades {
+			v := cosGrade(g, x)
+			if v < -1.001 || v > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cos is even and periodic for every grade (within grade
+// accuracy).
+func TestCosSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		x := (rng.Float64() - 0.5) * 20
+		for _, g := range TrigGrades {
+			cos := CosFn(g)
+			if math.Abs(cos(x)-cos(-x)) > 1e-9 {
+				t.Fatalf("grade %v not even at x=%v", g, x)
+			}
+			if math.Abs(cos(x)-cos(x+2*math.Pi)) > 1e-7 {
+				t.Fatalf("grade %v not 2pi-periodic at x=%v: %v vs %v",
+					g, x, cos(x), cos(x+2*math.Pi))
+			}
+		}
+	}
+}
+
+// Property: Pythagorean identity approximately holds at mid+ grades.
+func TestPythagoreanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sin := SinFn(Trig73)
+	cos := CosFn(Trig73)
+	for trial := 0; trial < 500; trial++ {
+		x := (rng.Float64() - 0.5) * 4 * math.Pi
+		s, c := sin(x), cos(x)
+		if math.Abs(s*s+c*c-1) > 1e-5 {
+			t.Fatalf("sin^2+cos^2 = %v at x=%v", s*s+c*c, x)
+		}
+	}
+}
+
+func BenchmarkCosPrecise(b *testing.B) {
+	f := CosFn(TrigPrecise)
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		x += f(float64(i%628) / 100)
+	}
+	_ = x
+}
+
+func BenchmarkCos32(b *testing.B) {
+	f := CosFn(Trig32)
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		x += f(float64(i%628) / 100)
+	}
+	_ = x
+}
+
+func BenchmarkExpTaylor3(b *testing.B) {
+	f := ExpTaylor(3)
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		x += f(float64(i%200)/100 - 1)
+	}
+	_ = x
+}

@@ -1,0 +1,40 @@
+package approxmath_test
+
+import (
+	"fmt"
+	"math"
+
+	"green/internal/approxmath"
+)
+
+// Example shows the accuracy/cost ladder the DFT experiment sweeps.
+func Example() {
+	x := 1.0
+	for _, g := range approxmath.TrigGrades {
+		err := math.Abs(approxmath.CosFn(g)(x) - math.Cos(x))
+		fmt.Printf("cos(%s): %2d terms, |err| < 1e%d\n",
+			g, g.Terms(), int(math.Ceil(math.Log10(err+1e-18))))
+	}
+	// Output:
+	// cos(3.2):  3 terms, |err| < 1e-3
+	// cos(5.2):  4 terms, |err| < 1e-5
+	// cos(7.3):  5 terms, |err| < 1e-7
+	// cos(12.1):  7 terms, |err| < 1e-12
+	// cos(14.7): 10 terms, |err| < 1e-18
+	// cos(20.2): 13 terms, |err| < 1e-18
+}
+
+// ExampleExpTaylor shows the blackscholes exp ladder near its expansion
+// point.
+func ExampleExpTaylor() {
+	for deg := 3; deg <= 6; deg++ {
+		f := approxmath.ExpTaylor(deg)
+		err := math.Abs(f(-0.7)-math.Exp(-0.7)) / math.Exp(-0.7)
+		fmt.Printf("exp(%d): relative error %.1e at x=-0.7\n", deg, err)
+	}
+	// Output:
+	// exp(3): relative error 1.8e-02 at x=-0.7
+	// exp(4): relative error 2.5e-03 at x=-0.7
+	// exp(5): relative error 3.0e-04 at x=-0.7
+	// exp(6): relative error 3.0e-05 at x=-0.7
+}

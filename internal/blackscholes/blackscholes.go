@@ -1,0 +1,126 @@
+// Package blackscholes implements the paper's computational-finance
+// benchmark: closed-form Black-Scholes pricing of European options, as in
+// the PARSEC blackscholes kernel. The core computation "makes heavy use
+// of the exponentiation exp and logarithm log functions"; both are
+// injectable so the Taylor-series approximations of internal/approxmath
+// can be substituted (versions exp(3)..exp(6) and log(2)..log(4) of
+// Figures 8 and 23/24).
+//
+// The exp call sites see arguments in roughly [-2, 0] (the Gaussian
+// kernel exp(-d²/2) and the discount factor exp(-rT)) and the log call
+// site sees spot/strike ratios near 1 — the exact input ranges the
+// paper's Figure 8 calibration curves cover.
+package blackscholes
+
+import (
+	"errors"
+	"math"
+
+	"green/internal/workload"
+)
+
+// MathFns supplies the transcendental kernel. Nil members select the
+// standard library.
+type MathFns struct {
+	Exp func(float64) float64
+	Log func(float64) float64
+}
+
+func (m MathFns) withDefaults() MathFns {
+	if m.Exp == nil {
+		m.Exp = math.Exp
+	}
+	if m.Log == nil {
+		m.Log = math.Log
+	}
+	return m
+}
+
+// Per-option transcendental call counts, for the work model: pricing one
+// option evaluates the Gaussian kernel twice (N(d1), N(d2)), one discount
+// factor, and one price-ratio logarithm.
+const (
+	ExpCallsPerOption = 3
+	LogCallsPerOption = 1
+)
+
+// cndf is the cumulative normal distribution via the Abramowitz-Stegun
+// polynomial, the formulation the PARSEC kernel uses. Its only
+// transcendental call is exp(-x²/2).
+func cndf(x float64, exp func(float64) float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+
+		k*(-1.821255978+k*1.330274429))))
+	nd := exp(-x*x/2) / math.Sqrt(2*math.Pi) * poly
+	if neg {
+		return nd
+	}
+	return 1 - nd
+}
+
+// Price computes the Black-Scholes price of one European option with the
+// given transcendental kernel.
+func Price(o workload.Option, m MathFns) (float64, error) {
+	if o.Spot <= 0 || o.Strike <= 0 || o.Vol <= 0 || o.Maturity <= 0 {
+		return 0, errors.New("blackscholes: invalid option parameters")
+	}
+	fns := m.withDefaults()
+	sqrtT := math.Sqrt(o.Maturity)
+	d1 := (fns.Log(o.Spot/o.Strike) + (o.Rate+o.Vol*o.Vol/2)*o.Maturity) /
+		(o.Vol * sqrtT)
+	d2 := d1 - o.Vol*sqrtT
+	disc := fns.Exp(-o.Rate * o.Maturity)
+	if o.IsPut {
+		return o.Strike*disc*cndf(-d2, fns.Exp) - o.Spot*cndf(-d1, fns.Exp), nil
+	}
+	return o.Spot*cndf(d1, fns.Exp) - o.Strike*disc*cndf(d2, fns.Exp), nil
+}
+
+// PricePortfolio prices every option and returns the price vector.
+func PricePortfolio(opts []workload.Option, m MathFns) ([]float64, error) {
+	out := make([]float64, len(opts))
+	for i, o := range opts {
+		p, err := Price(o, m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// ObservedExpArgs returns the exp-argument stream pricing the options
+// generates (Gaussian kernel and discount arguments). The calibration
+// phase uses it to build the exp QoS model over the observed input range,
+// as the paper does ("over the input argument range observed on the
+// training inputs", Figure 8(a)).
+func ObservedExpArgs(opts []workload.Option) []float64 {
+	args := make([]float64, 0, len(opts)*ExpCallsPerOption)
+	for _, o := range opts {
+		if o.Spot <= 0 || o.Strike <= 0 || o.Vol <= 0 || o.Maturity <= 0 {
+			continue
+		}
+		sqrtT := math.Sqrt(o.Maturity)
+		d1 := (math.Log(o.Spot/o.Strike) + (o.Rate+o.Vol*o.Vol/2)*o.Maturity) /
+			(o.Vol * sqrtT)
+		d2 := d1 - o.Vol*sqrtT
+		args = append(args, -d1*d1/2, -d2*d2/2, -o.Rate*o.Maturity)
+	}
+	return args
+}
+
+// ObservedLogArgs returns the log-argument stream (spot/strike ratios).
+func ObservedLogArgs(opts []workload.Option) []float64 {
+	args := make([]float64, 0, len(opts))
+	for _, o := range opts {
+		if o.Spot <= 0 || o.Strike <= 0 {
+			continue
+		}
+		args = append(args, o.Spot/o.Strike)
+	}
+	return args
+}

@@ -1,0 +1,224 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"green/internal/approxmath"
+	"green/internal/workload"
+)
+
+func TestPriceValidation(t *testing.T) {
+	bad := workload.Option{Spot: -1, Strike: 100, Vol: 0.2, Maturity: 1}
+	if _, err := Price(bad, MathFns{}); err == nil {
+		t.Error("negative spot accepted")
+	}
+}
+
+// Known-value test: S=100, K=100, r=5%, vol=20%, T=1y call ~ 10.4506
+// (standard textbook value).
+func TestPriceKnownCall(t *testing.T) {
+	o := workload.Option{Spot: 100, Strike: 100, Rate: 0.05, Vol: 0.2, Maturity: 1}
+	p, err := Price(o, MathFns{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-10.4506) > 0.01 {
+		t.Errorf("call price = %v, want ~10.4506", p)
+	}
+}
+
+func TestPriceKnownPut(t *testing.T) {
+	o := workload.Option{Spot: 100, Strike: 100, Rate: 0.05, Vol: 0.2,
+		Maturity: 1, IsPut: true}
+	p, err := Price(o, MathFns{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put-call parity: P = C - S + K·e^{-rT} = 10.4506 - 100 + 95.1229.
+	if math.Abs(p-5.5735) > 0.01 {
+		t.Errorf("put price = %v, want ~5.5735", p)
+	}
+}
+
+func TestPutCallParityProperty(t *testing.T) {
+	opts := workload.Options(3, 300)
+	for _, o := range opts {
+		call := o
+		call.IsPut = false
+		put := o
+		put.IsPut = true
+		c, err := Price(call, MathFns{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Price(put, MathFns{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parity := c - p - o.Spot + o.Strike*math.Exp(-o.Rate*o.Maturity)
+		if math.Abs(parity) > 1e-6*o.Strike {
+			t.Fatalf("parity violated by %v for %+v", parity, o)
+		}
+	}
+}
+
+func TestPricesNonNegative(t *testing.T) {
+	for _, o := range workload.Options(5, 500) {
+		p, err := Price(o, MathFns{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < -1e-9 {
+			t.Fatalf("negative price %v for %+v", p, o)
+		}
+	}
+}
+
+func TestPricePortfolio(t *testing.T) {
+	opts := workload.Options(7, 50)
+	ps, err := PricePortfolio(opts, MathFns{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 50 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for i, o := range opts {
+		want, _ := Price(o, MathFns{})
+		if ps[i] != want {
+			t.Fatalf("portfolio price %d mismatch", i)
+		}
+	}
+	bad := append([]workload.Option{}, opts...)
+	bad[3].Vol = 0
+	if _, err := PricePortfolio(bad, MathFns{}); err == nil {
+		t.Error("invalid option in portfolio accepted")
+	}
+}
+
+func TestObservedArgsRanges(t *testing.T) {
+	opts := workload.Options(9, 2000)
+	expArgs := ObservedExpArgs(opts)
+	if len(expArgs) != len(opts)*ExpCallsPerOption {
+		t.Fatalf("exp args = %d, want %d", len(expArgs), len(opts)*3)
+	}
+	for _, a := range expArgs {
+		if a > 0 {
+			t.Fatalf("positive exp argument %v; kernel args must be <= 0", a)
+		}
+	}
+	logArgs := ObservedLogArgs(opts)
+	if len(logArgs) != len(opts) {
+		t.Fatalf("log args = %d", len(logArgs))
+	}
+	// Ratios cluster near 1, inside the Taylor-friendly region.
+	near1 := 0
+	for _, a := range logArgs {
+		if a <= 0 {
+			t.Fatalf("non-positive log argument %v", a)
+		}
+		if a > 0.7 && a < 1.4 {
+			near1++
+		}
+	}
+	if float64(near1)/float64(len(logArgs)) < 0.95 {
+		t.Errorf("only %d/%d log args in [0.7, 1.4]", near1, len(logArgs))
+	}
+	// Invalid options are skipped, not crashed on.
+	if got := ObservedExpArgs([]workload.Option{{}}); len(got) != 0 {
+		t.Error("invalid option produced exp args")
+	}
+	if got := ObservedLogArgs([]workload.Option{{}}); len(got) != 0 {
+		t.Error("invalid option produced log args")
+	}
+}
+
+// Approximate kernels: error decreases with Taylor degree, and even the
+// lowest combined grade keeps portfolio-level error small — the premise
+// of Figures 23/24. Taylor expansions are only valid near their expansion
+// points, so this test restricts the portfolio to options whose exp
+// arguments stay within the calibrated range [-1.5, 0] (outside it the
+// framework selects the precise version — exactly why fixed whole-domain
+// substitution is unsafe and Green's range-based selection is needed).
+func TestApproxKernelErrorOrdering(t *testing.T) {
+	var opts []workload.Option
+	for _, o := range workload.Options(11, 4000) {
+		calm := true
+		for _, a := range ObservedExpArgs([]workload.Option{o}) {
+			if a < -1.5 {
+				calm = false
+			}
+		}
+		if calm {
+			opts = append(opts, o)
+		}
+	}
+	if len(opts) < 200 {
+		t.Fatalf("only %d calm options; generator drifted", len(opts))
+	}
+	precise, err := PricePortfolio(opts, MathFns{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := func(m MathFns) float64 {
+		got, err := PricePortfolio(opts, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := range got {
+			denom := math.Abs(precise[i])
+			if denom < 0.01 {
+				denom = 0.01
+			}
+			sum += math.Abs(got[i]-precise[i]) / denom
+		}
+		return sum / float64(len(got))
+	}
+	prev := math.Inf(1)
+	for deg := 3; deg <= 6; deg++ {
+		e := meanErr(MathFns{Exp: approxmath.ExpTaylor(deg)})
+		if e >= prev {
+			t.Errorf("exp(%d) error %v not better than exp(%d)", deg, e, deg-1)
+		}
+		prev = e
+	}
+	prev = math.Inf(1)
+	for deg := 2; deg <= 4; deg++ {
+		e := meanErr(MathFns{Log: approxmath.LogTaylor(deg)})
+		if e >= prev {
+			t.Errorf("log(%d) error %v not better than log(%d)", deg, e, deg-1)
+		}
+		prev = e
+	}
+	// Best combined approximation: small portfolio error.
+	combined := meanErr(MathFns{
+		Exp: approxmath.ExpTaylor(6),
+		Log: approxmath.LogTaylor(4),
+	})
+	if combined > 0.02 {
+		t.Errorf("exp(6)+log(4) portfolio error %v > 2%%", combined)
+	}
+}
+
+func TestCNDFProperties(t *testing.T) {
+	// Monotone increasing, symmetric, correct at 0.
+	if got := cndf(0, math.Exp); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("cndf(0) = %v, want 0.5", got)
+	}
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.1 {
+		v := cndf(x, math.Exp)
+		if v < prev {
+			t.Fatalf("cndf not monotone at %v", x)
+		}
+		prev = v
+		if s := cndf(x, math.Exp) + cndf(-x, math.Exp); math.Abs(s-1) > 1e-6 {
+			t.Fatalf("cndf symmetry broken at %v: %v", x, s)
+		}
+	}
+	if cndf(5, math.Exp) < 0.999 || cndf(-5, math.Exp) > 0.001 {
+		t.Error("cndf tails wrong")
+	}
+}

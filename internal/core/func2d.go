@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"green/internal/model"
+)
+
+// This file implements two extensions the paper identifies but leaves to
+// future work:
+//
+//   - Func2 approximates functions of *two* numeric parameters (footnote
+//     1: "this can be extended to multiple parameters") using the 2-D
+//     grid model from internal/model.
+//   - Site gives each call site of an approximated function its own
+//     recalibration state (§3.2.2: "our current implementation does not
+//     differentiate between call sites and uses the same QoS_Approx()
+//     function for all sites"). Sites share the calibration model but
+//     adjust precision independently, so a call site seeing harder inputs
+//     can run more precisely without slowing the others down.
+
+// Fn2 is a two-parameter function candidate for approximation.
+type Fn2 func(x, y float64) float64
+
+// Func2Config configures a two-parameter approximable function.
+type Func2Config struct {
+	// Name identifies the function in reports.
+	Name string
+	// Model is the 2-D grid QoS model from the calibration phase.
+	Model *model.FuncModel2D
+	// SLA is the maximal tolerated fractional QoS loss.
+	SLA float64
+	// SampleInterval is Sample_QoS; zero disables recalibration.
+	SampleInterval int
+	// Policy is the recalibration policy; nil selects DefaultPolicy.
+	Policy RecalibratePolicy
+	// QoS overrides the default return-value QoS computation.
+	QoS FuncQoS
+}
+
+// Func2 is the two-parameter function controller. It mirrors Func's
+// behavior: per-call cheapest-version selection under the SLA, monitored
+// sampling, and offset-based recalibration.
+type Func2 struct {
+	cfg      Func2Config
+	precise  Fn2
+	versions []Fn2
+	qos      FuncQoS
+
+	offset   atomic.Int64
+	count    atomic.Int64
+	interval atomic.Int64
+	disabled atomic.Bool
+
+	mu        sync.Mutex
+	policy    RecalibratePolicy
+	monitored int64
+	lossSum   float64
+}
+
+// NewFunc2 builds the controller; approx must match the model's versions
+// one-to-one in increasing precision order.
+func NewFunc2(cfg Func2Config, precise Fn2, approx []Fn2) (*Func2, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("core: func2 requires a model")
+	}
+	if precise == nil {
+		return nil, errors.New("core: func2 requires a precise implementation")
+	}
+	if len(approx) != len(cfg.Model.Versions) {
+		return nil, fmt.Errorf("core: func2 %q: %d versions but model has %d",
+			cfg.Name, len(approx), len(cfg.Model.Versions))
+	}
+	if cfg.SLA < 0 {
+		return nil, errors.New("core: negative SLA")
+	}
+	f := &Func2{
+		cfg:      cfg,
+		precise:  precise,
+		versions: append([]Fn2(nil), approx...),
+		qos:      cfg.QoS,
+		policy:   cfg.Policy,
+	}
+	if f.qos == nil {
+		f.qos = func(p, a float64) float64 {
+			denom := math.Abs(p)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			return math.Abs(a-p) / denom
+		}
+	}
+	if f.policy == nil {
+		f.policy = DefaultPolicy{}
+	}
+	f.interval.Store(int64(cfg.SampleInterval))
+	return f, nil
+}
+
+// Name returns the configured name.
+func (f *Func2) Name() string { return f.cfg.Name }
+
+// Offset returns the recalibration precision offset.
+func (f *Func2) Offset() int { return int(f.offset.Load()) }
+
+// selectVersion applies the model plus the current offset.
+func (f *Func2) selectVersion(x, y float64) int {
+	if f.disabled.Load() {
+		return model.PreciseVersion
+	}
+	v := f.cfg.Model.SelectVersion(x, y, f.cfg.SLA)
+	if v == model.PreciseVersion {
+		return v
+	}
+	v += int(f.offset.Load())
+	if v >= len(f.versions) {
+		return model.PreciseVersion
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Call evaluates the function under the approximation policy.
+func (f *Func2) Call(x, y float64) float64 {
+	n := f.count.Add(1)
+	iv := f.interval.Load()
+	monitor := iv > 0 && n%iv == 0
+	v := f.selectVersion(x, y)
+	if !monitor {
+		if v == model.PreciseVersion {
+			return f.precise(x, y)
+		}
+		return f.versions[v](x, y)
+	}
+	yp := f.precise(x, y)
+	loss := 0.0
+	if v != model.PreciseVersion {
+		loss = f.qos(yp, f.versions[v](x, y))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.monitored++
+	f.lossSum += loss
+	d := f.policy.Observe(loss, f.cfg.SLA)
+	if d.NewSampleInterval > 0 {
+		f.interval.Store(int64(d.NewSampleInterval))
+	}
+	switch d.Action {
+	case ActIncrease:
+		if off := f.offset.Load(); off < int64(len(f.versions)) {
+			f.offset.Store(off + 1)
+		}
+	case ActDecrease:
+		if off := f.offset.Load(); off > -int64(len(f.versions)) {
+			f.offset.Store(off - 1)
+		}
+	}
+	return yp
+}
+
+// Stats reports runtime counters.
+func (f *Func2) Stats() (calls, monitored int64, meanLoss float64) {
+	calls = f.count.Load()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.monitored > 0 {
+		meanLoss = f.lossSum / float64(f.monitored)
+	}
+	return calls, f.monitored, meanLoss
+}
+
+// DisableApprox forces precise execution; EnableApprox reverts it.
+func (f *Func2) DisableApprox() { f.disabled.Store(true) }
+
+// EnableApprox re-enables approximation after DisableApprox.
+func (f *Func2) EnableApprox() { f.disabled.Store(false) }
+
+// ApproxEnabled reports whether approximation is active.
+func (f *Func2) ApproxEnabled() bool { return !f.disabled.Load() }
+
+// SiteSet manages per-call-site controllers for one approximated
+// function. Each Site shares the model and implementations but owns its
+// recalibration offset, sampling counter, and statistics.
+type SiteSet struct {
+	cfg      FuncConfig
+	precise  Fn
+	versions []Fn
+
+	mu    sync.Mutex
+	sites map[string]*Func
+}
+
+// NewSiteSet prepares per-site controllers; the arguments mirror NewFunc.
+func NewSiteSet(cfg FuncConfig, precise Fn, approx []Fn) (*SiteSet, error) {
+	// Validate eagerly by constructing (and discarding) one controller.
+	if _, err := NewFunc(cfg, precise, approx); err != nil {
+		return nil, err
+	}
+	return &SiteSet{
+		cfg:      cfg,
+		precise:  precise,
+		versions: append([]Fn(nil), approx...),
+		sites:    make(map[string]*Func),
+	}, nil
+}
+
+// Site returns the controller for the named call site, creating it on
+// first use. Each site carries the paper's per-function logic but with
+// independent recalibration state.
+func (s *SiteSet) Site(name string) *Func {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.sites[name]; ok {
+		return f
+	}
+	cfg := s.cfg
+	cfg.Name = s.cfg.Name + "@" + name
+	f, err := NewFunc(cfg, s.precise, s.versions)
+	if err != nil {
+		// NewSiteSet validated the configuration; a failure here is a
+		// programming error.
+		panic("core: site construction failed after validation: " + err.Error())
+	}
+	s.sites[name] = f
+	return f
+}
+
+// Sites returns the names of the instantiated call sites.
+func (s *SiteSet) Sites() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.sites))
+	for n := range s.sites {
+		names = append(names, n)
+	}
+	return names
+}

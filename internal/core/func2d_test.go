@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"green/internal/model"
+)
+
+// func2Fixture models f(x, y) = x*y with one sloppy and one tight
+// approximation over the grid [0,10)x[0,10).
+func func2Fixture(t *testing.T, sla float64, interval int) *Func2 {
+	t.Helper()
+	grid := model.Grid2D{XLo: 0, XHi: 10, YLo: 0, YHi: 10, NX: 4, NY: 4}
+	cal, err := model.NewCalibration2D("mul", 18, []string{"m0", "m1"},
+		[]float64{4, 8}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.5; x < 10; x++ {
+		for y := 0.5; y < 10; y++ {
+			if err := cal.AddSample(0, x, y, 0.10); err != nil {
+				t.Fatal(err)
+			}
+			if err := cal.AddSample(1, x, y, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := cal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise := func(x, y float64) float64 { return x * y }
+	v0 := func(x, y float64) float64 { return x * y * 1.10 }
+	v1 := func(x, y float64) float64 { return x * y * 1.01 }
+	f, err := NewFunc2(Func2Config{
+		Name: "mul", Model: m, SLA: sla, SampleInterval: interval,
+	}, precise, []Fn2{v0, v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFunc2Errors(t *testing.T) {
+	grid := model.Grid2D{XLo: 0, XHi: 1, YLo: 0, YHi: 1, NX: 1, NY: 1}
+	cal, _ := model.NewCalibration2D("m", 18, []string{"v"}, []float64{4}, grid)
+	cal.AddSample(0, 0.5, 0.5, 0.01)
+	m, _ := cal.Build()
+	id := func(x, y float64) float64 { return x }
+	if _, err := NewFunc2(Func2Config{}, id, []Fn2{id}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewFunc2(Func2Config{Model: m}, nil, []Fn2{id}); err == nil {
+		t.Error("nil precise accepted")
+	}
+	if _, err := NewFunc2(Func2Config{Model: m}, id, nil); err == nil {
+		t.Error("version mismatch accepted")
+	}
+	if _, err := NewFunc2(Func2Config{Model: m, SLA: -1}, id, []Fn2{id}); err == nil {
+		t.Error("negative SLA accepted")
+	}
+}
+
+func TestFunc2Selection(t *testing.T) {
+	// SLA 0.05: only m1 qualifies.
+	f := func2Fixture(t, 0.05, 0)
+	if got := f.Call(2, 3); math.Abs(got-6*1.01) > 1e-9 {
+		t.Errorf("Call = %v, want m1 result", got)
+	}
+	// SLA 0.2: m0 is cheaper and qualifies.
+	f = func2Fixture(t, 0.2, 0)
+	if got := f.Call(2, 3); math.Abs(got-6*1.10) > 1e-9 {
+		t.Errorf("Call = %v, want m0 result", got)
+	}
+	// Outside the grid: precise.
+	if got := f.Call(50, 3); got != 150 {
+		t.Errorf("outside-grid Call = %v, want precise", got)
+	}
+	// Tight SLA: precise.
+	f = func2Fixture(t, 0.001, 0)
+	if got := f.Call(2, 3); got != 6 {
+		t.Errorf("tight-SLA Call = %v, want precise", got)
+	}
+}
+
+func TestFunc2MonitoredRecalibrates(t *testing.T) {
+	f := func2Fixture(t, 0.2, 1) // m0 selected; its real loss is 10%
+	// Real loss 0.10 < 0.9*0.2: decrease pressure.
+	got := f.Call(2, 3)
+	if got != 6 {
+		t.Errorf("monitored Call = %v, want precise", got)
+	}
+	if f.Offset() != -1 {
+		t.Errorf("offset = %d, want -1", f.Offset())
+	}
+	calls, monitored, meanLoss := f.Stats()
+	if calls != 1 || monitored != 1 {
+		t.Errorf("stats = %d/%d", calls, monitored)
+	}
+	if math.Abs(meanLoss-0.10) > 1e-9 {
+		t.Errorf("meanLoss = %v", meanLoss)
+	}
+}
+
+func TestFunc2OffsetShiftsSelection(t *testing.T) {
+	f := func2Fixture(t, 0.2, 1)
+	f.qos = func(p, a float64) float64 { return 1 } // force increase
+	f.Call(2, 3)
+	if f.Offset() != 1 {
+		t.Fatalf("offset = %d, want 1", f.Offset())
+	}
+	f.interval.Store(0)
+	if got := f.Call(2, 3); math.Abs(got-6*1.01) > 1e-9 {
+		t.Errorf("Call after increase = %v, want m1", got)
+	}
+}
+
+func TestFunc2DisableEnable(t *testing.T) {
+	f := func2Fixture(t, 0.2, 0)
+	f.DisableApprox()
+	if f.ApproxEnabled() {
+		t.Error("still enabled")
+	}
+	if got := f.Call(2, 3); got != 6 {
+		t.Errorf("disabled Call = %v", got)
+	}
+	f.EnableApprox()
+	if !f.ApproxEnabled() {
+		t.Error("enable failed")
+	}
+	if f.Name() != "mul" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSiteSetIndependentRecalibration(t *testing.T) {
+	mkSamples := func(loss float64) []model.FuncSample {
+		return []model.FuncSample{{X: 0, Loss: loss}, {X: 10, Loss: loss}}
+	}
+	fm, err := model.BuildFuncModel("sq", 18, []model.VersionCurve{
+		{Name: "v0", Work: 4, Samples: mkSamples(0.10)},
+		{Name: "v1", Work: 8, Samples: mkSamples(0.01)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise := func(x float64) float64 { return x * x }
+	v0 := func(x float64) float64 { return x * x * 1.10 }
+	v1 := func(x float64) float64 { return x * x * 1.01 }
+	ss, err := NewSiteSet(FuncConfig{
+		Name: "sq", Model: fm, SLA: 0.2, SampleInterval: 1,
+	}, precise, []Fn{v0, v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := ss.Site("hot")
+	cold := ss.Site("cold")
+	if hot == cold {
+		t.Fatal("sites not distinct")
+	}
+	if ss.Site("hot") != hot {
+		t.Fatal("site not memoized")
+	}
+	// Drive only the hot site's recalibration: its offset moves, the
+	// cold site's does not.
+	hot.qos = func(p, a float64) float64 { return 1 }
+	hot.Call(2)
+	if hot.Offset() != 1 {
+		t.Errorf("hot offset = %d, want 1", hot.Offset())
+	}
+	if cold.Offset() != 0 {
+		t.Errorf("cold offset = %d, want 0 (independent)", cold.Offset())
+	}
+	names := ss.Sites()
+	if len(names) != 2 {
+		t.Errorf("sites = %v", names)
+	}
+	if hot.Name() != "sq@hot" {
+		t.Errorf("site name = %q", hot.Name())
+	}
+}
+
+func TestNewSiteSetValidates(t *testing.T) {
+	if _, err := NewSiteSet(FuncConfig{}, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"green/internal/model"
+)
+
+// Fn is a scalar function candidate for approximation. The paper's QoS
+// modeling scheme is restricted to functions taking numerical input
+// (footnote 2); this reproduction adopts the same restriction.
+type Fn func(float64) float64
+
+// FuncQoS computes the fractional QoS loss of an approximate function
+// result against the precise one. The default (nil) uses the normalized
+// return-value difference, matching the paper: "Unless directed
+// otherwise, Green uses the function return value as the QoS measure."
+type FuncQoS func(precise, approx float64) float64
+
+// FuncConfig configures an approximable function (the arguments of the
+// paper's approx_func annotation plus the constructed model).
+type FuncConfig struct {
+	// Name identifies the function in reports.
+	Name string
+	// Model is the QoS model built in the calibration phase. Its
+	// Versions order must correspond to the Approx slice passed to
+	// NewFunc (increasing precision).
+	Model *model.FuncModel
+	// SLA is the maximal tolerated fractional QoS loss.
+	SLA float64
+	// SampleInterval is Sample_QoS; zero disables recalibration.
+	SampleInterval int
+	// Policy is the recalibration policy; nil selects DefaultPolicy.
+	Policy RecalibratePolicy
+	// Key maps the call argument into the model's input domain; nil is
+	// the identity. The blackscholes exp model, for example, is built
+	// over abs(x) (Figure 7 tests abs(x) ranges).
+	Key func(float64) float64
+	// QoS overrides the default return-value QoS computation.
+	QoS FuncQoS
+	// Disabled forces every call to the precise version (overhead
+	// experiment and global fallback).
+	Disabled bool
+	// OnEvent, when non-nil, receives an Event after every monitored
+	// call.
+	OnEvent EventFunc
+}
+
+// funcState is the immutable snapshot the Call fast path reads with a
+// single atomic load: version-selection ranges, the recalibration offset,
+// disable flags, and the sampling interval. Recalibration and the Unit
+// methods build a new snapshot under f.mu and publish it atomically, so
+// ordinary calls never contend on a lock.
+type funcState struct {
+	ranges   []model.Range
+	offset   int
+	disabled bool
+	forceOff bool
+	interval int64
+}
+
+// Func is an approximable function: the operational-phase object
+// synthesized from an approx_func annotation. Call reproduces the
+// generated code of Figure 7 and is safe for concurrent use; the
+// non-monitored path is lock-free.
+type Func struct {
+	cfg      FuncConfig
+	precise  Fn
+	versions []Fn
+	qos      FuncQoS
+	key      func(float64) float64
+
+	state atomic.Pointer[funcState]
+	count atomic.Int64
+	// workMilli accumulates model work units in thousandths, so the hot
+	// path can use a single atomic add for fractional unit costs.
+	workMilli atomic.Int64
+
+	mu        sync.Mutex // guards policy, monitored stats, state rebuilds
+	policy    RecalibratePolicy
+	monitored int64
+	lossSum   float64
+}
+
+// NewFunc builds the controller. precise is the exact implementation;
+// approx are the programmer-supplied approximate versions in increasing
+// order of precision, and must match cfg.Model's version curves
+// one-to-one.
+func NewFunc(cfg FuncConfig, precise Fn, approx []Fn) (*Func, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("core: func requires a model")
+	}
+	if precise == nil {
+		return nil, errors.New("core: func requires a precise implementation")
+	}
+	if len(approx) != len(cfg.Model.Versions) {
+		return nil, fmt.Errorf("core: func %q: %d approximate versions but model has %d curves",
+			cfg.Name, len(approx), len(cfg.Model.Versions))
+	}
+	if cfg.SLA < 0 {
+		return nil, errors.New("core: negative SLA")
+	}
+	f := &Func{
+		cfg:      cfg,
+		precise:  precise,
+		versions: append([]Fn(nil), approx...),
+		qos:      cfg.QoS,
+		key:      cfg.Key,
+		policy:   cfg.Policy,
+	}
+	if f.qos == nil {
+		f.qos = func(precise, approx float64) float64 {
+			denom := math.Abs(precise)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			return math.Abs(approx-precise) / denom
+		}
+	}
+	if f.key == nil {
+		f.key = func(x float64) float64 { return x }
+	}
+	if f.policy == nil {
+		f.policy = DefaultPolicy{}
+	}
+	f.state.Store(&funcState{
+		ranges:   cfg.Model.Ranges(cfg.SLA),
+		forceOff: cfg.Disabled,
+		interval: int64(cfg.SampleInterval),
+	})
+	return f, nil
+}
+
+// Name returns the configured function name.
+func (f *Func) Name() string { return f.cfg.Name }
+
+// Ranges returns the currently active selection ranges (before the
+// recalibration offset is applied).
+func (f *Func) Ranges() []model.Range {
+	st := f.state.Load()
+	return append([]model.Range(nil), st.ranges...)
+}
+
+// Offset returns the current recalibration precision offset.
+func (f *Func) Offset() int { return f.state.Load().offset }
+
+// selectVersion returns the version index (or model.PreciseVersion) for
+// input x under the snapshot's ranges and offset.
+func (f *Func) selectVersion(st *funcState, x float64) int {
+	if st.disabled || st.forceOff {
+		return model.PreciseVersion
+	}
+	k := f.key(x)
+	for i := range st.ranges {
+		r := st.ranges[i]
+		if k >= r.Lo && (k < r.Hi || (k == r.Hi && r.Hi == st.ranges[len(st.ranges)-1].Hi)) {
+			v := r.Version
+			if v == model.PreciseVersion {
+				return v
+			}
+			v += st.offset
+			if v >= len(f.versions) {
+				return model.PreciseVersion
+			}
+			if v < 0 {
+				v = 0
+			}
+			return v
+		}
+	}
+	// Outside the calibrated domain the model knows nothing: precise.
+	return model.PreciseVersion
+}
+
+// Call evaluates the function at x under the approximation policy; it is
+// the synthesized call site of Figure 2:
+//
+//	if (QoS_Fn_Approx(x, QoS_SLA)) y = FApprox[M](x); else y = F(x);
+//	count++; if ((count % Sample_QoS) == 0) QoS_ReCalibrate();
+//
+// On monitored calls both the precise and the selected approximate
+// version run; the measured loss feeds the recalibration policy and the
+// precise result is returned.
+func (f *Func) Call(x float64) float64 {
+	st := f.state.Load()
+	n := f.count.Add(1)
+	monitor := st.interval > 0 && n%st.interval == 0
+	v := f.selectVersion(st, x)
+
+	if !monitor {
+		if v == model.PreciseVersion {
+			f.addWork(f.cfg.Model.PreciseWork)
+			return f.precise(x)
+		}
+		f.addWork(f.cfg.Model.Versions[v].Work)
+		return f.versions[v](x)
+	}
+
+	// Monitored call: run precise; if an approximation was selected, run
+	// it too and measure the loss.
+	yp := f.precise(x)
+	work := f.cfg.Model.PreciseWork
+	loss := 0.0
+	if v != model.PreciseVersion {
+		ya := f.versions[v](x)
+		work += f.cfg.Model.Versions[v].Work
+		loss = f.qos(yp, ya)
+	}
+	f.addWork(work)
+
+	f.mu.Lock()
+	f.monitored++
+	f.lossSum += loss
+	d := f.policy.Observe(loss, f.cfg.SLA)
+	next := *f.state.Load()
+	if d.NewSampleInterval > 0 {
+		next.interval = int64(d.NewSampleInterval)
+	}
+	applyFuncAction(&next, d.Action, len(f.versions))
+	f.state.Store(&next)
+	offset := next.offset
+	f.mu.Unlock()
+
+	if f.cfg.OnEvent != nil {
+		f.cfg.OnEvent(Event{
+			Unit: f.cfg.Name, Loss: loss, SLA: f.cfg.SLA,
+			Action: d.Action, Level: float64(offset),
+		})
+	}
+	return yp
+}
+
+func (f *Func) addWork(w float64) {
+	f.workMilli.Add(int64(w*1000 + 0.5))
+}
+
+// Work returns the accumulated model work units across all calls.
+// Experiments use this as the simulated cost of the
+// function-approximation portion of a run.
+func (f *Func) Work() float64 {
+	return float64(f.workMilli.Load()) / 1000
+}
+
+// WorkReset clears the accumulated work counter.
+func (f *Func) WorkReset() { f.workMilli.Store(0) }
+
+// Stats reports runtime counters: calls, monitored calls, mean observed
+// loss on monitored calls.
+func (f *Func) Stats() (calls, monitored int64, meanLoss float64) {
+	calls = f.count.Load()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.monitored > 0 {
+		meanLoss = f.lossSum / float64(f.monitored)
+	}
+	return calls, f.monitored, meanLoss
+}
+
+// setInterval overrides the sampling interval (tests and tools).
+func (f *Func) setInterval(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := *f.state.Load()
+	next.interval = n
+	f.state.Store(&next)
+}
+
+// applyFuncAction shifts the precision offset for a recalibration action.
+// The paper: "The QoS_ReCalibrate() function replaces the current
+// approximate function version with a more precise one, to address low
+// QoS, and uses a more approximate version to address higher than
+// necessary QoS."
+func applyFuncAction(st *funcState, a Action, nVersions int) {
+	switch a {
+	case ActIncrease:
+		if st.offset < nVersions {
+			st.offset++
+		}
+		st.disabled = false
+	case ActDecrease:
+		if st.offset > -nVersions {
+			st.offset--
+		}
+		st.disabled = false
+	}
+}
+
+// mutateState rebuilds the published snapshot under the lock.
+func (f *Func) mutateState(fn func(*funcState)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := *f.state.Load()
+	fn(&next)
+	f.state.Store(&next)
+}
+
+// IncreaseAccuracy implements Unit.
+func (f *Func) IncreaseAccuracy() bool {
+	changed := false
+	f.mutateState(func(st *funcState) {
+		before := st.offset
+		applyFuncAction(st, ActIncrease, len(f.versions))
+		changed = st.offset != before
+	})
+	return changed
+}
+
+// DecreaseAccuracy implements Unit.
+func (f *Func) DecreaseAccuracy() bool {
+	changed := false
+	f.mutateState(func(st *funcState) {
+		before := st.offset
+		applyFuncAction(st, ActDecrease, len(f.versions))
+		changed = st.offset != before
+	})
+	return changed
+}
+
+// Sensitivity implements Unit: the mean modeled loss improvement per unit
+// of relative work increase when shifting every selected version one step
+// more precise.
+func (f *Func) Sensitivity() float64 {
+	st := f.state.Load()
+	m := f.cfg.Model
+
+	var dLoss, dWork float64
+	n := 0
+	for _, r := range st.ranges {
+		if r.Version == model.PreciseVersion {
+			continue
+		}
+		cur := r.Version + st.offset
+		if cur < 0 {
+			cur = 0
+		}
+		if cur >= len(m.Versions) {
+			continue // already precise here
+		}
+		mid := (r.Lo + r.Hi) / 2
+		lossCur := m.Versions[cur].LossAt(mid)
+		var lossUp, workUp float64
+		if cur+1 >= len(m.Versions) {
+			lossUp, workUp = 0, m.PreciseWork
+		} else {
+			lossUp, workUp = m.Versions[cur+1].LossAt(mid), m.Versions[cur+1].Work
+		}
+		dLoss += lossCur - lossUp
+		dWork += (workUp - m.Versions[cur].Work) / m.PreciseWork
+		n++
+	}
+	if n == 0 || dWork <= 0 {
+		return 0
+	}
+	return dLoss / dWork
+}
+
+// DisableApprox implements Unit. The disable is sticky — recalibration
+// pressure does not re-enable it; only EnableApprox does.
+func (f *Func) DisableApprox() {
+	f.mutateState(func(st *funcState) { st.forceOff = true })
+}
+
+// EnableApprox re-enables approximation after DisableApprox.
+func (f *Func) EnableApprox() {
+	f.mutateState(func(st *funcState) {
+		st.forceOff = false
+		st.disabled = false
+	})
+}
+
+// ApproxEnabled implements Unit.
+func (f *Func) ApproxEnabled() bool {
+	st := f.state.Load()
+	return !st.disabled && !st.forceOff
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"green/internal/model"
+)
+
+// funcFixture builds a Func over f(x)=x^2 with two "approximations":
+// v0 returns x^2*(1+0.10) (10% off), v1 returns x^2*(1+0.01) (1% off).
+// The model gives v0 loss 0.10 everywhere, v1 loss 0.01 everywhere, over
+// the domain [0, 10].
+func funcFixture(t *testing.T, sla float64, sampleInterval int) *Func {
+	t.Helper()
+	mkSamples := func(loss float64) []model.FuncSample {
+		return []model.FuncSample{{X: 0, Loss: loss}, {X: 10, Loss: loss}}
+	}
+	fm, err := model.BuildFuncModel("sq", 18, []model.VersionCurve{
+		{Name: "sq(0)", Work: 4, Samples: mkSamples(0.10)},
+		{Name: "sq(1)", Work: 8, Samples: mkSamples(0.01)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise := func(x float64) float64 { return x * x }
+	v0 := func(x float64) float64 { return x * x * 1.10 }
+	v1 := func(x float64) float64 { return x * x * 1.01 }
+	f, err := NewFunc(FuncConfig{
+		Name: "sq", Model: fm, SLA: sla, SampleInterval: sampleInterval,
+	}, precise, []Fn{v0, v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFuncErrors(t *testing.T) {
+	fm, _ := model.BuildFuncModel("f", 18, []model.VersionCurve{
+		{Name: "v", Work: 4, Samples: []model.FuncSample{{X: 0, Loss: 0}}},
+	})
+	id := func(x float64) float64 { return x }
+	if _, err := NewFunc(FuncConfig{Model: nil}, id, []Fn{id}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewFunc(FuncConfig{Model: fm}, nil, []Fn{id}); err == nil {
+		t.Error("nil precise accepted")
+	}
+	if _, err := NewFunc(FuncConfig{Model: fm}, id, nil); err == nil {
+		t.Error("version count mismatch accepted")
+	}
+	if _, err := NewFunc(FuncConfig{Model: fm, SLA: -1}, id, []Fn{id}); err == nil {
+		t.Error("negative SLA accepted")
+	}
+}
+
+func TestFuncSelectsCheapestMeetingSLA(t *testing.T) {
+	// SLA 0.05: v0 (loss .10) fails, v1 (loss .01) qualifies.
+	f := funcFixture(t, 0.05, 0)
+	got := f.Call(2)
+	want := 4 * 1.01
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Call(2) = %v, want v1 result %v", got, want)
+	}
+	// SLA 0.2: v0 qualifies and is cheaper.
+	f = funcFixture(t, 0.2, 0)
+	got = f.Call(2)
+	want = 4 * 1.10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Call(2) = %v, want v0 result %v", got, want)
+	}
+	// SLA 0.001: neither qualifies; precise.
+	f = funcFixture(t, 0.001, 0)
+	if got := f.Call(2); got != 4 {
+		t.Errorf("Call(2) = %v, want precise 4", got)
+	}
+}
+
+func TestFuncOutsideCalibratedDomainIsPrecise(t *testing.T) {
+	f := funcFixture(t, 0.5, 0)
+	if got := f.Call(50); got != 2500 {
+		t.Errorf("Call(50) = %v, want precise 2500 outside domain", got)
+	}
+	if got := f.Call(-3); got != 9 {
+		t.Errorf("Call(-3) = %v, want precise 9 below domain", got)
+	}
+}
+
+func TestFuncKeyMapsDomain(t *testing.T) {
+	// With Key = abs, negative inputs fall inside the calibrated domain.
+	mkSamples := func(loss float64) []model.FuncSample {
+		return []model.FuncSample{{X: 0, Loss: loss}, {X: 10, Loss: loss}}
+	}
+	fm, err := model.BuildFuncModel("sq", 18, []model.VersionCurve{
+		{Name: "v0", Work: 4, Samples: mkSamples(0.01)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFunc(FuncConfig{
+		Name: "sq", Model: fm, SLA: 0.05, Key: math.Abs,
+	}, func(x float64) float64 { return x * x },
+		[]Fn{func(x float64) float64 { return x*x + 0.001 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Call(-3); got != 9.001 {
+		t.Errorf("Call(-3) = %v, want approximate 9.001 via abs key", got)
+	}
+}
+
+func TestFuncMonitoredCallReturnsPreciseAndRecalibrates(t *testing.T) {
+	// SLA 0.05, v1 selected (loss 0.01 < 0.9*SLA=0.045): every monitored
+	// call should push toward less precision (decrease accuracy).
+	f := funcFixture(t, 0.05, 1)
+	got := f.Call(2)
+	if got != 4 {
+		t.Errorf("monitored Call(2) = %v, want precise 4", got)
+	}
+	if f.Offset() != -1 {
+		t.Errorf("offset = %d, want -1 after decrease", f.Offset())
+	}
+	calls, mon, meanLoss := f.Stats()
+	if calls != 1 || mon != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", calls, mon)
+	}
+	if math.Abs(meanLoss-0.01) > 1e-9 {
+		t.Errorf("meanLoss = %v, want ~0.01", meanLoss)
+	}
+	// Next (non-monitored... interval=1 so still monitored) — use a fresh
+	// instance with interval 2 to check offset applies.
+	f = funcFixture(t, 0.05, 0)
+	f.DecreaseAccuracy()
+	got = f.Call(2)
+	want := 4 * 1.10 // offset -1 moved selection from v1 to v0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Call with offset -1 = %v, want %v", got, want)
+	}
+}
+
+func TestFuncRecalibrationIncreasesOnHighLoss(t *testing.T) {
+	// SLA 0.001 would select precise everywhere — instead make SLA 0.2 so
+	// v0 is selected (loss 0.10), then tighten the effective QoS with a
+	// custom QoS function that reports huge loss, forcing increase.
+	f := funcFixture(t, 0.2, 1)
+	f.qos = func(p, a float64) float64 { return 1.0 }
+	f.Call(2)
+	if f.Offset() != 1 {
+		t.Errorf("offset = %d, want +1 after increase", f.Offset())
+	}
+	// With offset +1, selection v0 -> v1.
+	f.setInterval(0)
+	got := f.Call(2)
+	want := 4 * 1.01
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Call after increase = %v, want %v", got, want)
+	}
+}
+
+func TestFuncOffsetSaturatesToPrecise(t *testing.T) {
+	f := funcFixture(t, 0.2, 0)
+	f.IncreaseAccuracy()
+	f.IncreaseAccuracy()
+	f.IncreaseAccuracy() // beyond version count: precise
+	if got := f.Call(2); got != 4 {
+		t.Errorf("fully-increased Call = %v, want precise 4", got)
+	}
+	if f.IncreaseAccuracy() && f.Offset() > len(f.versions) {
+		t.Error("offset exceeded saturation bound")
+	}
+}
+
+func TestFuncDisabled(t *testing.T) {
+	f := funcFixture(t, 0.2, 0)
+	f.DisableApprox()
+	if f.ApproxEnabled() {
+		t.Error("still enabled after DisableApprox")
+	}
+	if got := f.Call(2); got != 4 {
+		t.Errorf("disabled Call = %v, want precise", got)
+	}
+	f.EnableApprox()
+	if !f.ApproxEnabled() {
+		t.Error("EnableApprox failed")
+	}
+}
+
+func TestFuncWorkAccounting(t *testing.T) {
+	f := funcFixture(t, 0.2, 0)
+	f.Call(2) // v0: work 4
+	f.Call(3) // v0: work 4
+	if got := f.Work(); got != 8 {
+		t.Errorf("work = %v, want 8", got)
+	}
+	f.WorkReset()
+	if got := f.Work(); got != 0 {
+		t.Errorf("work after reset = %v", got)
+	}
+	// Precise call charges precise work.
+	f2 := funcFixture(t, 0.001, 0)
+	f2.Call(2)
+	if got := f2.Work(); got != 18 {
+		t.Errorf("precise work = %v, want 18", got)
+	}
+	// Monitored call charges precise + selected version.
+	f3 := funcFixture(t, 0.2, 1)
+	f3.Call(2)
+	if got := f3.Work(); got != 22 { // 18 precise + 4 v0
+		t.Errorf("monitored work = %v, want 22", got)
+	}
+}
+
+func TestFuncStatsAndName(t *testing.T) {
+	f := funcFixture(t, 0.2, 0)
+	if f.Name() != "sq" {
+		t.Error("name wrong")
+	}
+	if got := f.Ranges(); len(got) == 0 {
+		t.Error("no ranges exposed")
+	}
+	if s := f.Sensitivity(); s <= 0 {
+		t.Errorf("Sensitivity = %v, want > 0 (v1 much better than v0)", s)
+	}
+}
+
+func TestFuncSensitivityAtTopIsZeroOrFinite(t *testing.T) {
+	f := funcFixture(t, 0.05, 0) // selects v1 (most precise version)
+	s := f.Sensitivity()
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Errorf("sensitivity not finite: %v", s)
+	}
+}
+
+func TestFuncCustomQoS(t *testing.T) {
+	called := false
+	f := funcFixture(t, 0.2, 1)
+	f.qos = func(p, a float64) float64 {
+		called = true
+		return 0.15 // in band [0.18? no: 0.9*0.2=0.18 -> 0.15 < 0.18: decrease
+	}
+	f.Call(2)
+	if !called {
+		t.Error("custom QoS not invoked on monitored call")
+	}
+	if f.Offset() != -1 {
+		t.Errorf("offset = %d, want -1", f.Offset())
+	}
+}

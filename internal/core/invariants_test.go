@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"green/internal/model"
+)
+
+// Property: under arbitrary sequences of recalibration pressure, the
+// loop's level stays within [MinLevel, BaseLevel] and the controller
+// never deadlocks or panics.
+func TestLoopLevelBoundedUnderRandomPressure(t *testing.T) {
+	m := testLoopModel(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		l, err := NewLoop(LoopConfig{
+			Name: "inv", Model: m, SLA: 0.05, SampleInterval: 1,
+			Step: float64(10 + rng.Intn(500)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 60; step++ {
+			q := &fakeQoS{lossValue: rng.Float64() * 0.2}
+			e, err := l.Begin(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			for ; i < 3200; i++ {
+				if !e.Continue(i) {
+					break
+				}
+			}
+			e.Finish(i)
+			lvl := l.Level()
+			if lvl < 100-1e-9 || lvl > 3200+1e-9 {
+				t.Fatalf("level %v escaped [100, 3200]", lvl)
+			}
+		}
+	}
+}
+
+// Property: the function offset saturates within [-nVersions, nVersions]
+// under arbitrary action sequences, and selection never indexes out of
+// bounds.
+func TestFuncOffsetBoundedUnderRandomPressure(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		f := funcFixture(t, 0.2, 1)
+		f.qos = func(p, a float64) float64 { return rng.Float64() * 0.5 }
+		for call := 0; call < 200; call++ {
+			x := rng.Float64() * 12 // sometimes outside the domain
+			_ = f.Call(x)
+			off := f.Offset()
+			if off < -len(f.versions) || off > len(f.versions) {
+				t.Fatalf("offset %d escaped bounds", off)
+			}
+		}
+	}
+}
+
+// Property: a monitored execution must always return the precise result
+// for functions, regardless of the recalibration state.
+func TestFuncMonitoredAlwaysPrecise(t *testing.T) {
+	f := funcFixture(t, 0.2, 1) // every call monitored
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		if got := f.Call(x); got != x*x {
+			t.Fatalf("monitored Call(%v) = %v, want precise %v", x, got, x*x)
+		}
+	}
+}
+
+// Property: concurrent Call is race-free and conserves the call count.
+func TestFuncConcurrentCalls(t *testing.T) {
+	f := funcFixture(t, 0.2, 10)
+	const goroutines = 8
+	const per = 500
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				f.Call(rng.Float64() * 10)
+			}
+		}(int64(g))
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	calls, monitored, _ := f.Stats()
+	if calls != goroutines*per {
+		t.Errorf("calls = %d, want %d", calls, goroutines*per)
+	}
+	if monitored == 0 {
+		t.Error("no monitored calls despite sampling")
+	}
+	if f.Work() <= 0 {
+		t.Error("no work accounted")
+	}
+}
+
+// Property: a loop execution is internally consistent — a run that
+// reports Approximated must have StoppedAt >= 0 and must not be
+// Monitored; a monitored run never terminates early.
+func TestLoopResultConsistency(t *testing.T) {
+	m := testLoopModel(t)
+	l, err := NewLoop(LoopConfig{
+		Name: "cons", Model: m, SLA: 0.05, SampleInterval: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 30; run++ {
+		q := &fakeQoS{lossValue: 0.049}
+		e, err := l.Begin(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for ; i < 3200; i++ {
+			if !e.Continue(i) {
+				break
+			}
+		}
+		res := e.Finish(i)
+		if res.Approximated && res.Monitored {
+			t.Fatal("run both approximated and monitored")
+		}
+		if res.Approximated && res.StoppedAt < 0 {
+			t.Fatal("approximated without a stop point")
+		}
+		if res.Monitored && i != 3200 {
+			t.Fatalf("monitored run stopped early at %d", i)
+		}
+		if !res.Monitored && res.Loss != 0 {
+			t.Fatal("non-monitored run reported a loss")
+		}
+	}
+}
+
+// Property: StaticParams-derived levels always satisfy the SLA in the
+// model's own prediction, across random SLAs (the model/controller
+// contract the operational phase relies on).
+func TestLoopModelControllerContract(t *testing.T) {
+	m := testLoopModel(t)
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 200; trial++ {
+		sla := 0.002 + rng.Float64()*0.2
+		l, err := NewLoop(LoopConfig{Name: "c", Model: m, SLA: sla})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.ApproxEnabled() {
+			continue // unsatisfiable: precise fallback, trivially safe
+		}
+		if pred := m.PredictLoss(l.Level()); pred > sla+1e-9 {
+			t.Fatalf("SLA %v: level %v predicts loss %v", sla, l.Level(), pred)
+		}
+	}
+}
+
+// Failure injection: a policy that always increases must drive the level
+// to the base and stop there; one that always decreases must floor at
+// MinLevel.
+type constPolicy struct{ a Action }
+
+func (p constPolicy) Observe(float64, float64) Decision { return Decision{Action: p.a} }
+
+func TestLoopSaturationUnderConstantPolicy(t *testing.T) {
+	m := testLoopModel(t)
+	for _, tc := range []struct {
+		act  Action
+		want float64
+	}{
+		{ActIncrease, 3200},
+		{ActDecrease, 100},
+	} {
+		l, err := NewLoop(LoopConfig{
+			Name: "sat", Model: m, SLA: 0.05, SampleInterval: 1,
+			Policy: constPolicy{tc.act}, Step: 500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 20; run++ {
+			q := &fakeQoS{}
+			e, _ := l.Begin(q)
+			i := 0
+			for ; i < 3200 && e.Continue(i); i++ {
+			}
+			e.Finish(i)
+		}
+		if got := l.Level(); got != tc.want {
+			t.Errorf("action %v: level = %v, want %v", tc.act, got, tc.want)
+		}
+	}
+}
+
+// Failure injection: models whose points all carry identical loss still
+// invert deterministically.
+func TestFlatLossModel(t *testing.T) {
+	pts := []model.CalPoint{
+		{Level: 10, QoSLoss: 0.05, Work: 10},
+		{Level: 20, QoSLoss: 0.05, Work: 20},
+		{Level: 40, QoSLoss: 0.05, Work: 40},
+	}
+	m, err := model.BuildLoopModel("flat", pts, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl, err := m.StaticParams(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl != 10 {
+		t.Errorf("flat model M = %v, want the cheapest level 10", lvl)
+	}
+	if _, err := m.StaticParams(0.049); err != model.ErrUnsatisfiable {
+		t.Errorf("err = %v, want ErrUnsatisfiable", err)
+	}
+}

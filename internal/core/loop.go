@@ -1,0 +1,461 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"green/internal/model"
+)
+
+// LoopMode selects between the two QoS_Approx flavors of §2.2.2.
+type LoopMode int
+
+// Loop approximation modes.
+const (
+	// Static terminates the loop once the iteration count exceeds the
+	// model-supplied threshold M.
+	Static LoopMode = iota
+	// Adaptive applies the law of diminishing returns: after a floor of M
+	// iterations, QoS improvement is sampled every Period iterations and
+	// the loop terminates when the improvement per period drops to
+	// TargetDelta or below.
+	Adaptive
+)
+
+// String implements fmt.Stringer.
+func (m LoopMode) String() string {
+	if m == Adaptive {
+		return "adaptive"
+	}
+	return "static"
+}
+
+// LoopQoS is the programmer-supplied QoS_Compute for a loop. The paper's
+// single C function with a return_QoS flag maps onto two methods:
+//
+//	QoS_Compute(0, i, ...) -> Record(i):  store the QoS the approximate
+//	                                      (early-terminated) run would
+//	                                      produce at iteration i.
+//	QoS_Compute(1, i, ...) -> Loss(i):    compare the recorded QoS against
+//	                                      the current (precise) QoS and
+//	                                      return the fractional loss.
+type LoopQoS interface {
+	Record(iter int)
+	Loss(iter int) float64
+}
+
+// DeltaQoS is the additional capability Adaptive mode needs: the QoS
+// improvement achieved over the most recent measurement period. An
+// implementation typically snapshots its QoS metric on each call and
+// returns the difference from the previous snapshot.
+type DeltaQoS interface {
+	LoopQoS
+	Delta(iter int) float64
+}
+
+// LoopConfig configures an approximable loop (the arguments of the
+// paper's approx_loop annotation plus the constructed model).
+type LoopConfig struct {
+	// Name identifies the loop in reports.
+	Name string
+	// Model is the QoS model built in the calibration phase.
+	Model *model.LoopModel
+	// SLA is the maximal tolerated fractional QoS loss.
+	SLA float64
+	// Mode selects static or adaptive approximation.
+	Mode LoopMode
+	// SampleInterval is the paper's Sample_QoS: every SampleInterval-th
+	// execution is monitored (run precisely, loss measured, recalibration
+	// fed). Zero disables runtime recalibration.
+	SampleInterval int
+	// Policy is the recalibration policy; nil selects DefaultPolicy.
+	Policy RecalibratePolicy
+	// Step is the accuracy-adjustment step for increase/decrease accuracy
+	// on the iteration threshold M. Zero derives it from the model's
+	// calibration knot spacing.
+	Step float64
+	// MinLevel is the floor below which decrease_accuracy will not push
+	// M. Zero uses the model's smallest calibrated level.
+	MinLevel float64
+	// Disabled forces QoS_Approx to always answer "do not approximate";
+	// the loop then always runs precisely. Used by the paper's overhead
+	// experiment (§4.1) and by global recalibration's last resort.
+	Disabled bool
+	// OnEvent, when non-nil, receives an Event after every monitored
+	// execution.
+	OnEvent EventFunc
+}
+
+// Loop is an approximable loop: the operational-phase object synthesized
+// from an approx_loop annotation.
+type Loop struct {
+	mu       sync.Mutex
+	cfg      LoopConfig
+	level    float64 // current static threshold M
+	adaptive model.AdaptiveParams
+	policy   RecalibratePolicy
+	interval int
+	step     float64
+	minLevel float64
+	disabled bool
+
+	// forceOff is the sticky disable: set by cfg.Disabled or
+	// DisableApprox, cleared only by EnableApprox. The model-driven
+	// disabled flag (unsatisfiable SLA) can instead be cleared by
+	// recalibration pressure.
+	forceOff bool
+
+	count     int64 // executions since creation
+	monitored int64
+	lossSum   float64
+	lastLoss  float64
+}
+
+// NewLoop creates the loop controller, deriving the initial approximation
+// parameters from the model and the SLA exactly as the paper's
+// QoS_Model_Loop interface does. If the model cannot satisfy the SLA at
+// any calibrated level, the loop starts disabled (precise) but still
+// monitors and can be re-enabled by recalibration pressure downward.
+func NewLoop(cfg LoopConfig) (*Loop, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("core: loop requires a model")
+	}
+	if cfg.SLA < 0 {
+		return nil, errors.New("core: negative SLA")
+	}
+	l := &Loop{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		interval: cfg.SampleInterval,
+		step:     cfg.Step,
+		minLevel: cfg.MinLevel,
+		forceOff: cfg.Disabled,
+	}
+	if l.policy == nil {
+		l.policy = DefaultPolicy{}
+	}
+	levels := cfg.Model.Levels()
+	if l.minLevel == 0 && len(levels) > 0 {
+		l.minLevel = levels[0]
+	}
+	if l.step == 0 {
+		if len(levels) >= 2 {
+			l.step = levels[1] - levels[0]
+		} else {
+			l.step = math.Max(1, cfg.Model.BaseLevel/10)
+		}
+	}
+	m, err := cfg.Model.StaticParams(cfg.SLA)
+	switch {
+	case err == nil:
+		l.level = m
+	case errors.Is(err, model.ErrUnsatisfiable):
+		l.level = cfg.Model.BaseLevel
+		l.disabled = true
+	default:
+		return nil, fmt.Errorf("core: loop %q: %w", cfg.Name, err)
+	}
+	if cfg.Mode == Adaptive {
+		ap, err := cfg.Model.AdaptiveParamsFor(cfg.SLA)
+		if err != nil && !errors.Is(err, model.ErrUnsatisfiable) {
+			return nil, fmt.Errorf("core: loop %q: %w", cfg.Name, err)
+		}
+		if err == nil {
+			l.adaptive = ap
+		}
+	}
+	return l, nil
+}
+
+// SetLevel overrides the current static threshold M. Used by experiments
+// that simulate an imperfect QoS model (paper Figure 14) and by the fixed
+// M-*N versions of the evaluation.
+func (l *Loop) SetLevel(m float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.level = m
+}
+
+// Level returns the current static threshold M.
+func (l *Loop) Level() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.level
+}
+
+// Adaptive returns the current adaptive parameters.
+func (l *Loop) Adaptive() model.AdaptiveParams {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.adaptive
+}
+
+// SetAdaptive overrides the adaptive parameters. Programs whose runtime
+// QoS-improvement measure (DeltaQoS) is on a different scale than the
+// model's loss curve — e.g. Monte-Carlo estimators, where per-period image
+// movement exceeds the distance-to-final improvement — calibrate
+// TargetDelta in their own units and install it here.
+func (l *Loop) SetAdaptive(p model.AdaptiveParams) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.adaptive = p
+}
+
+// Name returns the configured loop name.
+func (l *Loop) Name() string { return l.cfg.Name }
+
+// Stats reports runtime counters: executions, monitored executions, and
+// the mean observed loss over monitored executions.
+func (l *Loop) Stats() (executions, monitored int64, meanLoss float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.monitored > 0 {
+		meanLoss = l.lossSum / float64(l.monitored)
+	}
+	return l.count, l.monitored, meanLoss
+}
+
+// LoopExec is the per-execution state of one run of the approximated
+// loop: the code Figure 3 inlines around the loop body.
+type LoopExec struct {
+	loop       *Loop
+	qos        LoopQoS
+	delta      DeltaQoS // nil in static mode or when qos lacks Delta
+	monitor    bool
+	level      float64
+	adaptive   model.AdaptiveParams
+	mode       LoopMode
+	disabled   bool
+	wouldStop  int  // iteration at which the approximation decided to stop
+	recorded   bool // Record already called for wouldStop
+	terminated bool // loop actually terminated early
+}
+
+// Begin starts one execution of the loop. qos supplies the programmer's
+// QoS_Compute; in Adaptive mode it must also implement DeltaQoS, or Begin
+// returns an error.
+func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
+	if qos == nil {
+		return nil, errors.New("core: nil LoopQoS")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	e := &LoopExec{
+		loop:      l,
+		qos:       qos,
+		level:     l.level,
+		adaptive:  l.adaptive,
+		mode:      l.cfg.Mode,
+		disabled:  l.disabled || l.forceOff,
+		wouldStop: -1,
+	}
+	if l.cfg.Mode == Adaptive {
+		d, ok := qos.(DeltaQoS)
+		if !ok {
+			return nil, errors.New("core: adaptive mode requires DeltaQoS")
+		}
+		e.delta = d
+	}
+	if l.interval > 0 && l.count%int64(l.interval) == 0 {
+		e.monitor = true
+	}
+	return e, nil
+}
+
+// approxSaysStop is the synthesized QoS_Lp_Approx (Figure 5): should the
+// loop terminate early at iteration i?
+func (e *LoopExec) approxSaysStop(i int) bool {
+	if e.disabled {
+		return false
+	}
+	switch e.mode {
+	case Static:
+		return float64(i) >= e.level
+	default: // Adaptive
+		if e.adaptive.Period <= 0 {
+			return false // no viable adaptive parameters: run precisely
+		}
+		if float64(i) < e.adaptive.M {
+			return false
+		}
+		if i > 0 && i%int(e.adaptive.Period) == 0 {
+			improve := e.delta.Delta(i)
+			return improve <= e.adaptive.TargetDelta
+		}
+		return false
+	}
+}
+
+// Continue reports whether the loop body should run iteration i. In a
+// normal (non-monitored) execution it returns false as soon as the
+// approximation decides to terminate. In a monitored execution it always
+// returns true (the loop must run to its natural end so the precise QoS
+// is available) but records, via LoopQoS.Record, the QoS at the point the
+// approximation would have stopped — exactly the paper's "store the QoS
+// value and do not terminate the loop early" path.
+func (e *LoopExec) Continue(i int) bool {
+	if !e.approxSaysStop(i) {
+		return true
+	}
+	if e.monitor {
+		if !e.recorded {
+			e.qos.Record(i)
+			e.recorded = true
+			e.wouldStop = i
+		}
+		return true
+	}
+	if !e.terminated {
+		e.terminated = true
+		e.wouldStop = i
+	}
+	return false
+}
+
+// Result summarizes one finished execution.
+type Result struct {
+	// Approximated reports whether the loop actually terminated early.
+	Approximated bool
+	// Monitored reports whether this execution was a monitored one.
+	Monitored bool
+	// Loss is the measured QoS loss (monitored executions only).
+	Loss float64
+	// StoppedAt is the iteration at which the approximation terminated
+	// (or would have terminated, for monitored runs); -1 if it never
+	// triggered.
+	StoppedAt int
+	// Recalibrated is the recalibration action applied, if any.
+	Recalibrated Action
+}
+
+// Finish completes the execution. finalIter is the iteration count the
+// loop actually reached (its natural bound for monitored or non-triggered
+// runs). For monitored executions it computes the QoS loss of the
+// approximation via LoopQoS.Loss, feeds the recalibration policy, and
+// applies its decision.
+func (e *LoopExec) Finish(finalIter int) Result {
+	res := Result{
+		Approximated: e.terminated,
+		Monitored:    e.monitor,
+		StoppedAt:    e.wouldStop,
+	}
+	if !e.monitor {
+		return res
+	}
+	loss := 0.0
+	if e.recorded {
+		loss = e.qos.Loss(finalIter)
+	}
+	res.Loss = loss
+
+	l := e.loop
+	l.mu.Lock()
+	l.monitored++
+	l.lossSum += loss
+	l.lastLoss = loss
+	d := l.policy.Observe(loss, l.cfg.SLA)
+	if d.NewSampleInterval > 0 {
+		l.interval = d.NewSampleInterval
+	}
+	res.Recalibrated = d.Action
+	l.applyLocked(d.Action)
+	level := l.level
+	l.mu.Unlock()
+
+	if l.cfg.OnEvent != nil {
+		l.cfg.OnEvent(Event{
+			Unit: l.cfg.Name, Loss: loss, SLA: l.cfg.SLA,
+			Action: d.Action, Level: level,
+		})
+	}
+	return res
+}
+
+// applyLocked adjusts the approximation level for a recalibration action.
+// Static mode moves the threshold M by one step (as in Figure 14, where M
+// grows by 0.1N per adjustment); adaptive mode halves or doubles
+// TargetDelta (requiring more or less improvement to continue).
+// The caller must hold l.mu.
+func (l *Loop) applyLocked(a Action) {
+	switch a {
+	case ActIncrease:
+		if l.cfg.Mode == Adaptive && l.adaptive.Period > 0 {
+			l.adaptive.TargetDelta /= 2
+		}
+		l.level = math.Min(l.level+l.step, l.cfg.Model.BaseLevel)
+		l.disabled = false
+	case ActDecrease:
+		if l.cfg.Mode == Adaptive && l.adaptive.Period > 0 {
+			l.adaptive.TargetDelta *= 2
+		}
+		l.level = math.Max(l.level-l.step, l.minLevel)
+		l.disabled = false
+	}
+}
+
+// The Unit interface (global coordination, app.go).
+
+// IncreaseAccuracy implements Unit.
+func (l *Loop) IncreaseAccuracy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	before := l.level
+	l.applyLocked(ActIncrease)
+	return l.level != before
+}
+
+// DecreaseAccuracy implements Unit.
+func (l *Loop) DecreaseAccuracy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	before := l.level
+	l.applyLocked(ActDecrease)
+	return l.level != before
+}
+
+// Sensitivity implements Unit: the modeled QoS-loss change per unit of
+// relative work change around the current level. Global recalibration
+// increases accuracy first where a large QoS gain costs little
+// performance, i.e. where Sensitivity is large.
+func (l *Loop) Sensitivity() float64 {
+	l.mu.Lock()
+	level, step := l.level, l.step
+	m := l.cfg.Model
+	l.mu.Unlock()
+	lossNow := m.PredictLoss(level)
+	lossUp := m.PredictLoss(level + step)
+	workNow := m.PredictWork(level)
+	workUp := m.PredictWork(level + step)
+	dWork := (workUp - workNow) / m.BaseWork
+	if dWork <= 0 {
+		return 0
+	}
+	return (lossNow - lossUp) / dWork
+}
+
+// DisableApprox implements Unit: revert to the precise loop. The disable
+// is sticky — recalibration pressure does not re-enable it; only
+// EnableApprox does.
+func (l *Loop) DisableApprox() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.forceOff = true
+}
+
+// EnableApprox re-enables approximation after DisableApprox.
+func (l *Loop) EnableApprox() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.forceOff = false
+	l.disabled = false
+}
+
+// ApproxEnabled implements Unit.
+func (l *Loop) ApproxEnabled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.disabled && !l.forceOff
+}

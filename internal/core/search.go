@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Setting is one candidate configuration of one approximated unit during
+// the combination search of §3.4.1 — e.g. "exp uses version exp(3)" or
+// "main loop terminates at M=2N". PredLoss and Speedup come from the
+// unit's local (isolated) calibration model.
+type Setting struct {
+	// Unit is the index of the unit this setting belongs to.
+	Unit int
+	// Label names the setting for reports, e.g. "exp(cb)" or "M=2N".
+	Label string
+	// PredLoss is the local model's predicted fractional QoS loss.
+	PredLoss float64
+	// Speedup is the local model's predicted work reduction factor
+	// (precise work / approximate work) for the unit in isolation.
+	Speedup float64
+	// WorkShare is the fraction of total application work attributable
+	// to this unit (used by the additive estimate); zero means equal
+	// shares.
+	WorkShare float64
+}
+
+// ComboEval measures one combination of settings (one per unit) on the
+// training inputs and returns the observed application QoS loss and
+// overall speedup. The paper's combination search uses measured values
+// because local models may not compose linearly.
+type ComboEval func(combo []Setting) (loss, speedup float64, err error)
+
+// SearchResult is the outcome of CombineSearch.
+type SearchResult struct {
+	// Best is the winning combination (one Setting per unit), nil when no
+	// combination met the SLA.
+	Best []Setting
+	// Loss and Speedup are the evaluator's measurements of Best.
+	Loss    float64
+	Speedup float64
+	// Evaluated is the number of combinations measured.
+	Evaluated int
+}
+
+// ErrNoViableCombo is returned when no combination satisfies the SLA;
+// the application then runs precisely.
+var ErrNoViableCombo = errors.New("core: no combination satisfies the application SLA")
+
+// CombineSearch performs the exhaustive search-space exploration of
+// §3.4.1: every element of the cross product of per-unit candidate
+// settings is evaluated with eval, and the combination with the highest
+// measured speedup whose measured application QoS loss satisfies sla is
+// returned. This is how the paper's blackscholes run refined the local
+// choice exp(cb)+log(2) into the final exp(cb)+log(4).
+//
+// candidates[i] lists the options for unit i and must be non-empty; a
+// "use the precise version" option should be included explicitly when
+// falling back is acceptable. The search is exponential in the number of
+// units, as in the paper; callers keep candidate lists short.
+func CombineSearch(candidates [][]Setting, sla float64, eval ComboEval) (SearchResult, error) {
+	if len(candidates) == 0 {
+		return SearchResult{}, errors.New("core: no units to search")
+	}
+	for i, c := range candidates {
+		if len(c) == 0 {
+			return SearchResult{}, fmt.Errorf("core: unit %d has no candidate settings", i)
+		}
+	}
+	if eval == nil {
+		eval = AdditiveEstimate
+	}
+	res := SearchResult{Loss: 0, Speedup: 1}
+	combo := make([]Setting, len(candidates))
+	found := false
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(candidates) {
+			loss, speedup, err := eval(append([]Setting(nil), combo...))
+			if err != nil {
+				return err
+			}
+			res.Evaluated++
+			if loss <= sla && (!found || speedup > res.Speedup) {
+				found = true
+				res.Best = append([]Setting(nil), combo...)
+				res.Loss, res.Speedup = loss, speedup
+			}
+			return nil
+		}
+		for _, s := range candidates[i] {
+			combo[i] = s
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return SearchResult{}, err
+	}
+	if !found {
+		return res, ErrNoViableCombo
+	}
+	return res, nil
+}
+
+// AdditiveEstimate is the evaluator used when measurements are
+// unavailable: it assumes the approximations are independent and additive
+// (the initial assumption of §3.4.2) — losses add, and work shrinks per
+// unit weighted by WorkShare (equal shares when unset).
+func AdditiveEstimate(combo []Setting) (loss, speedup float64, err error) {
+	if len(combo) == 0 {
+		return 0, 1, nil
+	}
+	totalShare := 0.0
+	for _, s := range combo {
+		totalShare += s.WorkShare
+	}
+	work := 0.0
+	for _, s := range combo {
+		loss += s.PredLoss
+		share := s.WorkShare
+		if totalShare == 0 {
+			share = 1 / float64(len(combo))
+		} else {
+			share /= totalShare
+		}
+		sp := s.Speedup
+		if sp <= 0 {
+			sp = 1
+		}
+		work += share / sp
+	}
+	if work <= 0 {
+		return loss, 1, nil
+	}
+	return loss, 1 / work, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Controller state checkpointing: a service that restarts should resume
+// with the approximation levels runtime recalibration had reached, not
+// the cold model defaults. LoopState/FuncState snapshot the mutable
+// runtime state (the models themselves are persisted separately by the
+// calibration tooling).
+
+// LoopState is the serializable runtime state of a Loop.
+type LoopState struct {
+	Name      string  `json:"name"`
+	Level     float64 `json:"level"`
+	Interval  int     `json:"interval"`
+	Disabled  bool    `json:"disabled"`
+	ForceOff  bool    `json:"force_off"`
+	Count     int64   `json:"count"`
+	Monitored int64   `json:"monitored"`
+	LossSum   float64 `json:"loss_sum"`
+	// Adaptive parameters (zero when not in adaptive mode).
+	AdaptiveM     float64 `json:"adaptive_m"`
+	AdaptivePer   float64 `json:"adaptive_period"`
+	AdaptiveDelta float64 `json:"adaptive_delta"`
+}
+
+// State snapshots the loop's runtime state.
+func (l *Loop) State() LoopState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LoopState{
+		Name:      l.cfg.Name,
+		Level:     l.level,
+		Interval:  l.interval,
+		Disabled:  l.disabled,
+		ForceOff:  l.forceOff,
+		Count:     l.count,
+		Monitored: l.monitored,
+		LossSum:   l.lossSum,
+		AdaptiveM: l.adaptive.M, AdaptivePer: l.adaptive.Period,
+		AdaptiveDelta: l.adaptive.TargetDelta,
+	}
+}
+
+// Restore applies a previously snapshotted state. The state must belong
+// to a loop with the same name.
+func (l *Loop) Restore(s LoopState) error {
+	if s.Name != l.cfg.Name {
+		return fmt.Errorf("core: state for %q cannot restore loop %q", s.Name, l.cfg.Name)
+	}
+	if s.Level <= 0 || s.Count < 0 || s.Monitored < 0 || s.Monitored > s.Count {
+		return errors.New("core: implausible loop state")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.level = s.Level
+	l.interval = s.Interval
+	l.disabled = s.Disabled
+	l.forceOff = s.ForceOff
+	l.count = s.Count
+	l.monitored = s.Monitored
+	l.lossSum = s.LossSum
+	l.adaptive.M = s.AdaptiveM
+	l.adaptive.Period = s.AdaptivePer
+	l.adaptive.TargetDelta = s.AdaptiveDelta
+	return nil
+}
+
+// MarshalState serializes the loop state as JSON.
+func (l *Loop) MarshalState() ([]byte, error) {
+	return json.Marshal(l.State())
+}
+
+// RestoreStateJSON applies a JSON-serialized state.
+func (l *Loop) RestoreStateJSON(data []byte) error {
+	var s LoopState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core: decode loop state: %w", err)
+	}
+	return l.Restore(s)
+}
+
+// FuncState is the serializable runtime state of a Func.
+type FuncState struct {
+	Name      string  `json:"name"`
+	Offset    int     `json:"offset"`
+	Interval  int64   `json:"interval"`
+	Disabled  bool    `json:"disabled"`
+	ForceOff  bool    `json:"force_off"`
+	Count     int64   `json:"count"`
+	Monitored int64   `json:"monitored"`
+	LossSum   float64 `json:"loss_sum"`
+	WorkMilli int64   `json:"work_milli"`
+}
+
+// State snapshots the function controller's runtime state.
+func (f *Func) State() FuncState {
+	st := f.state.Load()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FuncState{
+		Name:      f.cfg.Name,
+		Offset:    st.offset,
+		Interval:  st.interval,
+		Disabled:  st.disabled,
+		ForceOff:  st.forceOff,
+		Count:     f.count.Load(),
+		Monitored: f.monitored,
+		LossSum:   f.lossSum,
+		WorkMilli: f.workMilli.Load(),
+	}
+}
+
+// Restore applies a previously snapshotted state. The state must belong
+// to a function with the same name, and the offset must be within the
+// controller's ladder.
+func (f *Func) Restore(s FuncState) error {
+	if s.Name != f.cfg.Name {
+		return fmt.Errorf("core: state for %q cannot restore func %q", s.Name, f.cfg.Name)
+	}
+	if s.Offset < -len(f.versions) || s.Offset > len(f.versions) {
+		return errors.New("core: offset outside the version ladder")
+	}
+	if s.Count < 0 || s.Monitored < 0 || s.Monitored > s.Count || s.WorkMilli < 0 {
+		return errors.New("core: implausible func state")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := *f.state.Load()
+	next.offset = s.Offset
+	next.interval = s.Interval
+	next.disabled = s.Disabled
+	next.forceOff = s.ForceOff
+	f.state.Store(&next)
+	f.count.Store(s.Count)
+	f.monitored = s.Monitored
+	f.lossSum = s.LossSum
+	f.workMilli.Store(s.WorkMilli)
+	return nil
+}
+
+// MarshalState serializes the function state as JSON.
+func (f *Func) MarshalState() ([]byte, error) {
+	return json.Marshal(f.State())
+}
+
+// RestoreStateJSON applies a JSON-serialized state.
+func (f *Func) RestoreStateJSON(data []byte) error {
+	var s FuncState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core: decode func state: %w", err)
+	}
+	return f.Restore(s)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestLoopStateRoundTrip(t *testing.T) {
+	m := testLoopModel(t)
+	l1, err := NewLoop(LoopConfig{
+		Name: "svc", Model: m, SLA: 0.05, SampleInterval: 10, Step: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive some recalibration so the state is non-trivial.
+	for run := 0; run < 20; run++ {
+		q := &fakeQoS{lossValue: 0.5}
+		e, _ := l1.Begin(q)
+		i := 0
+		for ; i < 3200 && e.Continue(i); i++ {
+		}
+		e.Finish(i)
+	}
+	data, err := l1.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": fresh controller from the same model, restore.
+	l2, err := NewLoop(LoopConfig{
+		Name: "svc", Model: m, SLA: 0.05, SampleInterval: 10, Step: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.RestoreStateJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Level() != l1.Level() {
+		t.Errorf("level = %v, want %v", l2.Level(), l1.Level())
+	}
+	e1, m1, loss1 := l1.Stats()
+	e2, m2, loss2 := l2.Stats()
+	if e1 != e2 || m1 != m2 || loss1 != loss2 {
+		t.Errorf("stats differ: (%d,%d,%v) vs (%d,%d,%v)", e1, m1, loss1, e2, m2, loss2)
+	}
+}
+
+func TestLoopRestoreValidation(t *testing.T) {
+	m := testLoopModel(t)
+	l, err := NewLoop(LoopConfig{Name: "a", Model: m, SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Restore(LoopState{Name: "b", Level: 100}); err == nil {
+		t.Error("cross-name restore accepted")
+	}
+	if err := l.Restore(LoopState{Name: "a", Level: 0}); err == nil {
+		t.Error("zero level accepted")
+	}
+	if err := l.Restore(LoopState{Name: "a", Level: 10, Count: 1, Monitored: 2}); err == nil {
+		t.Error("monitored > count accepted")
+	}
+	if err := l.RestoreStateJSON([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestFuncStateRoundTrip(t *testing.T) {
+	f1 := funcFixture(t, 0.05, 1)
+	for i := 0; i < 5; i++ {
+		f1.Call(2)
+	}
+	data, err := f1.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := funcFixture(t, 0.05, 1)
+	if err := f2.RestoreStateJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Offset() != f1.Offset() {
+		t.Errorf("offset = %d, want %d", f2.Offset(), f1.Offset())
+	}
+	c1, m1, l1 := f1.Stats()
+	c2, m2, l2 := f2.Stats()
+	if c1 != c2 || m1 != m2 || l1 != l2 {
+		t.Errorf("stats differ: (%d,%d,%v) vs (%d,%d,%v)", c1, m1, l1, c2, m2, l2)
+	}
+	if f1.Work() != f2.Work() {
+		t.Errorf("work differs: %v vs %v", f1.Work(), f2.Work())
+	}
+	// Behavior continuity: both make the same next decision.
+	if f1.Call(2) != f2.Call(2) {
+		t.Error("restored controller diverges")
+	}
+}
+
+func TestFuncRestoreValidation(t *testing.T) {
+	f := funcFixture(t, 0.05, 0)
+	if err := f.Restore(FuncState{Name: "other"}); err == nil {
+		t.Error("cross-name restore accepted")
+	}
+	if err := f.Restore(FuncState{Name: "sq", Offset: 99}); err == nil {
+		t.Error("out-of-ladder offset accepted")
+	}
+	if err := f.Restore(FuncState{Name: "sq", Count: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := f.RestoreStateJSON([]byte("nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Package dft implements the signal-processing benchmark of the paper's
+// evaluation: a direct O(N²) Discrete Fourier Transform whose inner loop
+// is dominated by sin/cos evaluations. The trigonometric functions are
+// injectable so the graded approximations from internal/approxmath can be
+// substituted — the function-approximation experiment of Figures 21/22
+// (versions C(d) approximate cos only; C+S(d) approximate both cos and
+// sin at d decimal digits).
+package dft
+
+import (
+	"errors"
+	"math"
+)
+
+// Trig supplies the transform's trigonometric kernel.
+type Trig struct {
+	Sin func(float64) float64
+	Cos func(float64) float64
+}
+
+// PreciseTrig uses the standard library.
+func PreciseTrig() Trig { return Trig{Sin: math.Sin, Cos: math.Cos} }
+
+// Transform computes the DFT of a real signal:
+//
+//	Re[k] = Σ_n x[n]·cos(2πkn/N),  Im[k] = -Σ_n x[n]·sin(2πkn/N)
+//
+// with the provided trig kernel, and returns the real and imaginary
+// parts. The work is N² cos and N² sin evaluations.
+func Transform(signal []float64, trig Trig) (re, im []float64, err error) {
+	if trig.Sin == nil || trig.Cos == nil {
+		return nil, nil, errors.New("dft: nil trig kernel")
+	}
+	n := len(signal)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	if n == 0 {
+		return re, im, nil
+	}
+	w := 2 * math.Pi / float64(n)
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		for t := 0; t < n; t++ {
+			angle := w * float64(k) * float64(t)
+			sr += signal[t] * trig.Cos(angle)
+			si -= signal[t] * trig.Sin(angle)
+		}
+		re[k] = sr
+		im[k] = si
+	}
+	return re, im, nil
+}
+
+// TrigCalls returns the number of sin plus cos evaluations Transform
+// performs for a signal of length n: the work-unit count of the DFT
+// experiments.
+func TrigCalls(n int) int64 { return 2 * int64(n) * int64(n) }
+
+// Magnitudes returns per-bin spectral magnitudes from Transform output.
+func Magnitudes(re, im []float64) ([]float64, error) {
+	if len(re) != len(im) {
+		return nil, errors.New("dft: mismatched spectrum halves")
+	}
+	out := make([]float64, len(re))
+	for i := range re {
+		out[i] = math.Hypot(re[i], im[i])
+	}
+	return out, nil
+}
+
+// InverseCheck reconstructs the signal from a spectrum with the precise
+// kernel and returns the maximum absolute reconstruction error against
+// the original — a correctness probe used by tests.
+func InverseCheck(signal, re, im []float64) (float64, error) {
+	n := len(signal)
+	if len(re) != n || len(im) != n {
+		return 0, errors.New("dft: spectrum length mismatch")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	w := 2 * math.Pi / float64(n)
+	maxErr := 0.0
+	for t := 0; t < n; t++ {
+		var sum float64
+		for k := 0; k < n; k++ {
+			angle := w * float64(k) * float64(t)
+			sum += re[k]*math.Cos(angle) - im[k]*math.Sin(angle)
+		}
+		sum /= float64(n)
+		if e := math.Abs(sum - signal[t]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}

@@ -1,0 +1,105 @@
+package dft
+
+import (
+	"math"
+	"testing"
+
+	"green/internal/workload"
+)
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64, 128} {
+		sig := workload.Signal(int64(n), n)
+		reD, imD, err := Transform(sig, PreciseTrig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reF, imF, err := FFT(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if math.Abs(reD[k]-reF[k]) > 1e-8 || math.Abs(imD[k]-imF[k]) > 1e-8 {
+				t.Fatalf("n=%d bin %d: DFT (%v,%v) vs FFT (%v,%v)",
+					n, k, reD[k], imD[k], reF[k], imF[k])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 6, 12, 100} {
+		if _, _, err := FFT(make([]float64, n)); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	re, im, err := FFT(nil)
+	if err != nil || len(re) != 0 || len(im) != 0 {
+		t.Errorf("empty FFT = (%v, %v, %v)", re, im, err)
+	}
+}
+
+func TestFFTPureTone(t *testing.T) {
+	const n = 32
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * 5 * float64(i) / n)
+	}
+	re, im, err := FFT(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mags, err := Magnitudes(re, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range mags {
+		want := 0.0
+		if k == 5 || k == n-5 {
+			want = n / 2
+		}
+		if math.Abs(m-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, m, want)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	sig := workload.Signal(9, 256)
+	re, im, err := FFT(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timeE, freqE float64
+	for _, x := range sig {
+		timeE += x * x
+	}
+	for k := range re {
+		freqE += re[k]*re[k] + im[k]*im[k]
+	}
+	freqE /= float64(len(sig))
+	if math.Abs(timeE-freqE) > 1e-6*timeE {
+		t.Errorf("Parseval violated: %v vs %v", timeE, freqE)
+	}
+}
+
+func BenchmarkDirectDFT128(b *testing.B) {
+	sig := workload.Signal(1, 128)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Transform(sig, PreciseTrig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT128(b *testing.B) {
+	sig := workload.Signal(1, 128)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FFT(sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

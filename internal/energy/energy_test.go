@@ -1,0 +1,246 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountBasics(t *testing.T) {
+	a := NewAccount()
+	a.Add("doc", 10)
+	a.Add("doc", 5)
+	a.Add("ray", 2)
+	a.AddOp()
+	a.AddOp()
+	if got := a.Units("doc"); got != 15 {
+		t.Errorf("doc units = %v, want 15", got)
+	}
+	if got := a.Units("ray"); got != 2 {
+		t.Errorf("ray units = %v, want 2", got)
+	}
+	if got := a.Units("missing"); got != 0 {
+		t.Errorf("missing units = %v, want 0", got)
+	}
+	if a.Ops() != 2 {
+		t.Errorf("ops = %v, want 2", a.Ops())
+	}
+	cs := a.Classes()
+	if len(cs) != 2 || cs[0] != "doc" || cs[1] != "ray" {
+		t.Errorf("classes = %v", cs)
+	}
+	if s := a.String(); !strings.Contains(s, "ops=2") || !strings.Contains(s, "doc=15") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAccountNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative work")
+		}
+	}()
+	NewAccount().Add("x", -1)
+}
+
+func TestAccountMergeAndReset(t *testing.T) {
+	a, b := NewAccount(), NewAccount()
+	a.Add("doc", 1)
+	a.AddOp()
+	b.Add("doc", 2)
+	b.Add("ray", 3)
+	b.AddOp()
+	a.Merge(b)
+	if a.Units("doc") != 3 || a.Units("ray") != 3 || a.Ops() != 2 {
+		t.Errorf("after merge: %v", a)
+	}
+	a.Reset()
+	if a.Units("doc") != 0 || a.Ops() != 0 {
+		t.Errorf("after reset: %v", a)
+	}
+}
+
+func testModel() *CostModel {
+	return &CostModel{
+		IdleWatts:    100,
+		FixedSeconds: 0.001,
+		FixedJoules:  0.05,
+		UnitSeconds:  map[string]float64{"doc": 1e-5},
+		UnitJoules:   map[string]float64{"doc": 2e-4},
+	}
+}
+
+func TestCostModelEvaluate(t *testing.T) {
+	m := testModel()
+	a := NewAccount()
+	a.AddOp()
+	a.Add("doc", 1000)
+	r := m.Evaluate(a)
+	wantSecs := 0.001 + 1000*1e-5 // 0.011
+	wantJoules := 100*wantSecs + 0.05 + 1000*2e-4
+	if math.Abs(r.Seconds-wantSecs) > 1e-12 {
+		t.Errorf("Seconds = %v, want %v", r.Seconds, wantSecs)
+	}
+	if math.Abs(r.Joules-wantJoules) > 1e-9 {
+		t.Errorf("Joules = %v, want %v", r.Joules, wantJoules)
+	}
+	if r.Ops != 1 {
+		t.Errorf("Ops = %v, want 1", r.Ops)
+	}
+}
+
+func TestReportDerived(t *testing.T) {
+	r := Report{Seconds: 2, Joules: 50, Ops: 10}
+	if got := r.Throughput(); got != 5 {
+		t.Errorf("Throughput = %v, want 5", got)
+	}
+	if got := r.JoulesPerOp(); got != 5 {
+		t.Errorf("JoulesPerOp = %v, want 5", got)
+	}
+	zero := Report{}
+	if zero.Throughput() != 0 || zero.JoulesPerOp() != 0 {
+		t.Error("zero report should yield zero derived metrics")
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := testModel()
+	bad.IdleWatts = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative idle watts accepted")
+	}
+	bad = testModel()
+	bad.UnitSeconds["doc"] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative unit seconds accepted")
+	}
+	bad = testModel()
+	bad.UnitJoules["doc"] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative unit joules accepted")
+	}
+}
+
+// The core claim approximation relies on: fewer work units means both less
+// simulated time and less simulated energy, but the improvement ratios
+// differ because fixed costs remain.
+func TestApproximationReducesTimeAndEnergyUnequally(t *testing.T) {
+	m := testModel()
+	base, approx := NewAccount(), NewAccount()
+	base.AddOp()
+	base.Add("doc", 10000)
+	approx.AddOp()
+	approx.Add("doc", 1000)
+
+	rb, ra := m.Evaluate(base), m.Evaluate(approx)
+	if ra.Seconds >= rb.Seconds {
+		t.Fatal("approximation did not reduce time")
+	}
+	if ra.Joules >= rb.Joules {
+		t.Fatal("approximation did not reduce energy")
+	}
+	timeRatio := ra.Seconds / rb.Seconds
+	energyRatio := ra.Joules / rb.Joules
+	if math.Abs(timeRatio-energyRatio) < 1e-9 {
+		t.Errorf("time and energy ratios identical (%v); fixed costs should separate them", timeRatio)
+	}
+}
+
+func TestMeterConstantPower(t *testing.T) {
+	mt := Meter{PeriodSeconds: 1}
+	j, err := mt.SampledJoules(func(float64) float64 { return 200 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-20000) > 1e-9 {
+		t.Errorf("constant power energy = %v, want 20000", j)
+	}
+}
+
+func TestMeterPartialLastInterval(t *testing.T) {
+	mt := Meter{PeriodSeconds: 1}
+	j, err := mt.SampledJoules(func(float64) float64 { return 100 }, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j-250) > 1e-9 {
+		t.Errorf("energy = %v, want 250", j)
+	}
+}
+
+func TestMeterErrors(t *testing.T) {
+	if _, err := (Meter{PeriodSeconds: 0}).SampledJoules(func(float64) float64 { return 1 }, 1); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := (Meter{PeriodSeconds: 1}).SampledJoules(func(float64) float64 { return 1 }, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+// The paper's argument: 1-second sampling is fine because runs are long.
+// A varying power trace sampled at 1 s over a long run has a tiny relative
+// error, while the same trace over a very short run has a large one.
+func TestSamplingErrorShrinksWithRunLength(t *testing.T) {
+	mt := Meter{PeriodSeconds: 1}
+	watts := func(tm float64) float64 { return 150 + 50*math.Sin(tm/3) }
+	long, err := mt.RelativeSamplingError(watts, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := mt.RelativeSamplingError(watts, 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long > 0.01 {
+		t.Errorf("long-run sampling error = %v, want < 1%%", long)
+	}
+	if short <= long {
+		t.Errorf("short-run error %v not larger than long-run %v", short, long)
+	}
+}
+
+// Property: evaluation is additive — evaluating a merged account equals
+// the sum of evaluating the parts.
+func TestEvaluateAdditiveProperty(t *testing.T) {
+	m := testModel()
+	f := func(d1, d2 uint16, ops1, ops2 uint8) bool {
+		a, b := NewAccount(), NewAccount()
+		a.Add("doc", float64(d1))
+		b.Add("doc", float64(d2))
+		for i := 0; i < int(ops1); i++ {
+			a.AddOp()
+		}
+		for i := 0; i < int(ops2); i++ {
+			b.AddOp()
+		}
+		ra, rb := m.Evaluate(a), m.Evaluate(b)
+		a.Merge(b)
+		rm := m.Evaluate(a)
+		return math.Abs(rm.Seconds-(ra.Seconds+rb.Seconds)) < 1e-9 &&
+			math.Abs(rm.Joules-(ra.Joules+rb.Joules)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more work never decreases time or energy.
+func TestEvaluateMonotoneProperty(t *testing.T) {
+	m := testModel()
+	f := func(d uint16, extra uint16) bool {
+		a, b := NewAccount(), NewAccount()
+		a.AddOp()
+		b.AddOp()
+		a.Add("doc", float64(d))
+		b.Add("doc", float64(d)+float64(extra))
+		ra, rb := m.Evaluate(a), m.Evaluate(b)
+		return rb.Seconds >= ra.Seconds && rb.Joules >= ra.Joules
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"green/internal/energy"
+)
+
+// Example shows how experiments convert work units into simulated time
+// and energy, and why approximation improves both with different ratios.
+func Example() {
+	model := &energy.CostModel{
+		IdleWatts:    300,                             // server idle draw
+		FixedSeconds: 0.002,                           // per-query overhead
+		FixedJoules:  0.2,                             // per-query dynamic energy
+		UnitSeconds:  map[string]float64{"doc": 5e-6}, // scoring one document
+		UnitJoules:   map[string]float64{"doc": 8e-4}, //
+	}
+	precise := energy.NewAccount()
+	precise.AddOp()
+	precise.Add("doc", 4000) // the full matching-document scan
+
+	approx := energy.NewAccount()
+	approx.AddOp()
+	approx.Add("doc", 1000) // early-terminated at M
+
+	p := model.Evaluate(precise)
+	a := model.Evaluate(approx)
+	fmt.Printf("time ratio %.2f, energy ratio %.2f\n",
+		a.Seconds/p.Seconds, a.Joules/p.Joules)
+	// Output: time ratio 0.32, energy ratio 0.31
+}

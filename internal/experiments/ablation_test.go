@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationEnvelope(t *testing.T) {
+	tbl, err := Run("ablation-envelope", Options{Seed: 42, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	env := parsePct(t, tbl.Rows[0][1])
+	raw := parsePct(t, tbl.Rows[1][1])
+	if env >= raw {
+		t.Errorf("envelope violation rate %v not below raw %v", env, raw)
+	}
+	envLoss := parsePct(t, tbl.Rows[0][2])
+	rawLoss := parsePct(t, tbl.Rows[1][2])
+	if envLoss >= rawLoss {
+		t.Errorf("envelope mean loss %v not below raw %v", envLoss, rawLoss)
+	}
+}
+
+func TestAblationPolicy(t *testing.T) {
+	tbl, err := Run("ablation-policy", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The windowed policy must deliver a loss at or near the SLA while
+	// the per-query default, flapping on 0/1 observations, lands far off.
+	defLoss := parsePct(t, tbl.Rows[0][3])
+	winLoss := parsePct(t, tbl.Rows[1][3])
+	if winLoss > 0.06 {
+		t.Errorf("windowed loss %v too far above the 2%% SLA", winLoss)
+	}
+	if defLoss <= winLoss {
+		t.Errorf("default policy loss %v unexpectedly at/below windowed %v", defLoss, winLoss)
+	}
+}
+
+func TestAblationAdaptive(t *testing.T) {
+	tbl, err := Run("ablation-adaptive", tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0] != "M-PRO-0.5N (adaptive)" {
+		t.Fatalf("unexpected first row %v", tbl.Rows[0])
+	}
+	adLoss := parsePct(t, tbl.Rows[0][1])
+	if adLoss > 0.05 {
+		t.Errorf("adaptive loss %v unexpectedly high", adLoss)
+	}
+	// The matched static version must need at least as much work.
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "first static version matching") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no matching-static note: %v", tbl.Notes)
+	}
+}
+
+func TestAblationSensitivity(t *testing.T) {
+	tbl, err := Run("ablation-sensitivity", Options{Seed: 42, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err2 := parseFloatCell(tbl.Rows[0][1])
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	random, err2 := parseFloatCell(tbl.Rows[1][1])
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if ranked >= random {
+		t.Errorf("sensitivity ranking (%v obs) not faster than random (%v obs)", ranked, random)
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"green/internal/approxmath"
+	"green/internal/dft"
+	"green/internal/energy"
+	"green/internal/metrics"
+	"green/internal/workload"
+)
+
+func init() {
+	register("fig21", "DFT versions: normalized execution time and energy", runFig21)
+	register("fig22", "DFT versions: QoS loss", runFig22)
+}
+
+// dftFixture holds the DFT experiment setup: 100 random signals and the
+// desktop cost model. One (k, t) sample-pair of the O(N^2) transform
+// costs dftBodyTerms term-equivalents of non-trigonometric work plus the
+// selected grades' polynomial terms for one cos and one sin.
+type dftFixture struct {
+	signals [][]float64
+	n       int
+	cost    *energy.CostModel
+}
+
+const dftBodyTerms = 77.0
+
+func newDFTFixture(o Options) *dftFixture {
+	nSignals := o.scaled(100, 6)
+	f := &dftFixture{
+		n: 96,
+		cost: &energy.CostModel{
+			IdleWatts:    120,
+			FixedSeconds: 1e-4,
+			FixedJoules:  0.002,
+			UnitSeconds:  map[string]float64{"term": 2e-9},
+			UnitJoules:   map[string]float64{"term": 2.5e-10},
+		},
+	}
+	for i := 0; i < nSignals; i++ {
+		f.signals = append(f.signals, workload.Signal(workload.Split(o.Seed, 700+int64(i)), f.n))
+	}
+	return f
+}
+
+// dftVersion selects the trig grades: cosGrade always approximated in
+// C(d) versions; sinGrade equals TrigPrecise for C(d) and cosGrade for
+// C+S(d).
+type dftVersion struct {
+	name     string
+	cosGrade approxmath.TrigGrade
+	sinGrade approxmath.TrigGrade
+}
+
+// dftVersionSet is the Figure 21/22 sweep: C(d) and C+S(d) for every
+// grade.
+func dftVersionSet() []dftVersion {
+	var out []dftVersion
+	for _, g := range approxmath.TrigGrades {
+		out = append(out, dftVersion{
+			name: fmt.Sprintf("C(%s)", g), cosGrade: g, sinGrade: approxmath.TrigPrecise,
+		})
+	}
+	for _, g := range approxmath.TrigGrades {
+		out = append(out, dftVersion{
+			name: fmt.Sprintf("C+S(%s)", g), cosGrade: g, sinGrade: g,
+		})
+	}
+	return out
+}
+
+// run transforms every signal under the version, returning mean QoS loss
+// against precise spectra and the simulated report.
+func (f *dftFixture) run(v dftVersion, preciseRe, preciseIm [][]float64) (float64, energy.Report, error) {
+	trig := dft.Trig{
+		Sin: approxmath.SinFn(v.sinGrade),
+		Cos: approxmath.CosFn(v.cosGrade),
+	}
+	termsPerPair := float64(v.cosGrade.Terms()+v.sinGrade.Terms()) + dftBodyTerms
+	acct := energy.NewAccount()
+	lossSum := 0.0
+	for i, sig := range f.signals {
+		re, im, err := dft.Transform(sig, trig)
+		if err != nil {
+			return 0, energy.Report{}, err
+		}
+		acct.AddOp()
+		acct.Add("term", termsPerPair*float64(f.n)*float64(f.n))
+		if preciseRe != nil {
+			lr, err := metrics.RMSNormDiff(preciseRe[i], re)
+			if err != nil {
+				return 0, energy.Report{}, err
+			}
+			li, err := metrics.RMSNormDiff(preciseIm[i], im)
+			if err != nil {
+				return 0, energy.Report{}, err
+			}
+			lossSum += (lr + li) / 2
+		}
+	}
+	return lossSum / float64(len(f.signals)), f.cost.Evaluate(acct), nil
+}
+
+// precise computes the base spectra and report.
+func (f *dftFixture) precise() ([][]float64, [][]float64, energy.Report, error) {
+	re := make([][]float64, len(f.signals))
+	im := make([][]float64, len(f.signals))
+	termsPerPair := float64(2*approxmath.TrigPrecise.Terms()) + dftBodyTerms
+	acct := energy.NewAccount()
+	for i, sig := range f.signals {
+		r, m, err := dft.Transform(sig, dft.PreciseTrig())
+		if err != nil {
+			return nil, nil, energy.Report{}, err
+		}
+		re[i], im[i] = r, m
+		acct.AddOp()
+		acct.Add("term", termsPerPair*float64(f.n)*float64(f.n))
+	}
+	return re, im, f.cost.Evaluate(acct), nil
+}
+
+func runFig21(o Options) (*Table, error) {
+	f := newDFTFixture(o)
+	_, _, baseRep, err := f.precise()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Columns: []string{"version", "norm. exec time", "norm. energy"}}
+	for _, v := range dftVersionSet() {
+		_, rep, err := f.run(v, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, norm(rep.Seconds/baseRep.Seconds), norm(rep.Joules/baseRep.Joules))
+	}
+	t.AddRow("Base", "100.0", "100.0")
+	t.AddNote("%d random signals of %d samples; base trig accuracy 23.1 digits (library)",
+		len(f.signals), f.n)
+	return t, nil
+}
+
+func runFig22(o Options) (*Table, error) {
+	f := newDFTFixture(o)
+	re, im, _, err := f.precise()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Columns: []string{"version", "QoS loss"}}
+	for _, v := range dftVersionSet() {
+		loss, _, err := f.run(v, re, im)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, pct(loss))
+	}
+	t.AddRow("Base", pct(0))
+	t.AddNote("QoS loss = mean normalized difference of output spectra vs base")
+	return t, nil
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"green/internal/core"
+	"green/internal/energy"
+	"green/internal/metrics"
+	"green/internal/model"
+	"green/internal/raytracer"
+	"green/internal/workload"
+)
+
+func init() {
+	register("fig15", "252.eon versions: normalized execution time and energy", runFig15)
+	register("fig16", "252.eon versions: QoS loss", runFig16)
+	register("fig17", "252.eon QoS-model sensitivity to training-set size", runFig17)
+}
+
+// eonFixture is the shared path-tracer setup: one reference scene, many
+// random-camera inputs, and a desktop-machine cost model.
+type eonFixture struct {
+	scene   *raytracer.Scene
+	cameras []raytracer.Camera
+	seeds   []int64
+	w, h    int
+	baseN   int // base version sends baseN^2 samples per pixel
+	cost    *energy.CostModel
+}
+
+// eonVersionNs lists the approximated versions of Figures 15/16: the main
+// loop is capped at N^2 ray passes for N = 5..9; the base uses 10^2.
+var eonVersionNs = []int{5, 6, 7, 8, 9}
+
+const eonBaseN = 10
+
+func newEonFixture(o Options) *eonFixture {
+	nInputs := o.scaled(100, 4)
+	f := &eonFixture{
+		scene: raytracer.NewScene(workload.Split(o.Seed, 200)),
+		w:     16, h: 12,
+		baseN: eonBaseN,
+		// Desktop machine: 120 W idle, 1.5 microseconds of CPU per ray,
+		// small fixed per-frame setup cost.
+		cost: &energy.CostModel{
+			IdleWatts:    120,
+			FixedSeconds: 0.002,
+			FixedJoules:  0.05,
+			UnitSeconds:  map[string]float64{"ray": 1.5e-6},
+			UnitJoules:   map[string]float64{"ray": 1.2e-4},
+		},
+	}
+	for i := 0; i < nInputs; i++ {
+		f.cameras = append(f.cameras, raytracer.RandomCamera(workload.Split(o.Seed, 201+int64(i))))
+		f.seeds = append(f.seeds, workload.Split(o.Seed, 301+int64(i)))
+	}
+	return f
+}
+
+// renderInput renders input i at the given pass count, returning the
+// image and the rays traced.
+func (f *eonFixture) renderInput(i, passes int) (*raytracer.Image, int64, error) {
+	return raytracer.Render(f.scene, f.cameras[i], f.w, f.h, passes, f.seeds[i])
+}
+
+// eonRun renders every input at the version's pass budget and returns the
+// mean QoS loss versus the base images and the simulated report.
+func (f *eonFixture) eonRun(passes int, baseImages []*raytracer.Image) (float64, energy.Report, error) {
+	acct := energy.NewAccount()
+	lossSum := 0.0
+	for i := range f.cameras {
+		img, rays, err := f.renderInput(i, passes)
+		if err != nil {
+			return 0, energy.Report{}, err
+		}
+		acct.AddOp()
+		acct.Add("ray", float64(rays))
+		if baseImages != nil {
+			d, err := metrics.PixelDiff(baseImages[i].Pix, img.Pix)
+			if err != nil {
+				return 0, energy.Report{}, err
+			}
+			lossSum += d
+		}
+	}
+	return lossSum / float64(len(f.cameras)), f.cost.Evaluate(acct), nil
+}
+
+// baseImages renders the precise version of every input once.
+func (f *eonFixture) baseImages() ([]*raytracer.Image, energy.Report, error) {
+	acct := energy.NewAccount()
+	imgs := make([]*raytracer.Image, len(f.cameras))
+	for i := range f.cameras {
+		img, rays, err := f.renderInput(i, f.baseN*f.baseN)
+		if err != nil {
+			return nil, energy.Report{}, err
+		}
+		imgs[i] = img
+		acct.AddOp()
+		acct.Add("ray", float64(rays))
+	}
+	return imgs, f.cost.Evaluate(acct), nil
+}
+
+func runFig15(o Options) (*Table, error) {
+	f := newEonFixture(o)
+	base, baseRep, err := f.baseImages()
+	if err != nil {
+		return nil, err
+	}
+	_ = base
+	t := &Table{Columns: []string{"version", "norm. exec time", "norm. energy"}}
+	for _, n := range eonVersionNs {
+		_, rep, err := f.eonRun(n*n, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("N=%d", n),
+			norm(rep.Seconds/baseRep.Seconds),
+			norm(rep.Joules/baseRep.Joules))
+	}
+	t.AddRow("Base", "100.0", "100.0")
+	t.AddNote("base sends %d^2 = %d samples per pixel; N=k sends k^2", f.baseN, f.baseN*f.baseN)
+	t.AddNote("%d random-camera inputs at %dx%d", len(f.cameras), f.w, f.h)
+	return t, nil
+}
+
+func runFig16(o Options) (*Table, error) {
+	f := newEonFixture(o)
+	base, _, err := f.baseImages()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Columns: []string{"version", "QoS loss"}}
+	for _, n := range eonVersionNs {
+		loss, _, err := f.eonRun(n*n, base)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("N=%d", n), pct(loss))
+	}
+	t.AddRow("Base", pct(0))
+	t.AddNote("QoS loss = mean normalized pixel difference vs the base rendering")
+	return t, nil
+}
+
+// eonLoopModel builds the pass-loop QoS model from the first nTrain
+// inputs (calibration phase).
+func (f *eonFixture) eonLoopModel(nTrain int) (*model.LoopModel, error) {
+	knots := make([]float64, len(eonVersionNs))
+	for i, n := range eonVersionNs {
+		knots[i] = float64(n * n)
+	}
+	baseLevel := float64(f.baseN * f.baseN)
+	raysPerPass := float64(f.w * f.h * 3) // approximate mean incl. bounces
+	cal, err := core.NewLoopCalibration("eon.passes", knots, baseLevel, baseLevel*raysPerPass)
+	if err != nil {
+		return nil, err
+	}
+	losses := make([]float64, len(knots))
+	works := make([]float64, len(knots))
+	for i := 0; i < nTrain && i < len(f.cameras); i++ {
+		baseImg, _, err := f.renderInput(i, f.baseN*f.baseN)
+		if err != nil {
+			return nil, err
+		}
+		// Incremental renderer gives all knots in one pass sweep.
+		r, err := raytracer.NewRenderer(f.scene, f.cameras[i], f.w, f.h, f.seeds[i])
+		if err != nil {
+			return nil, err
+		}
+		for k, knot := range knots {
+			for r.Passes() < int(knot) {
+				r.Pass()
+			}
+			d, err := metrics.PixelDiff(baseImg.Pix, r.Snapshot().Pix)
+			if err != nil {
+				return nil, err
+			}
+			losses[k] = d
+			works[k] = float64(r.Rays())
+		}
+		if err := cal.AddRun(losses, works); err != nil {
+			return nil, err
+		}
+	}
+	return cal.Build()
+}
+
+func runFig17(o Options) (*Table, error) {
+	f := newEonFixture(o)
+	total := len(f.cameras)
+	sizes := []int{
+		max(2, total/10), max(3, total/5), max(4, total/2), total,
+	}
+	level := float64(9 * 9) // the paper estimates at N=9
+	ests := make([]float64, len(sizes))
+	for i, n := range sizes {
+		m, err := f.eonLoopModel(n)
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = m.PredictLoss(level)
+	}
+	ref := ests[len(ests)-1]
+	t := &Table{Columns: []string{"training inputs", "estimated QoS loss at N=9", "difference vs largest"}}
+	for i, n := range sizes {
+		t.AddRow(fmt.Sprintf("%d", n), pct(ests[i]), pct(math.Abs(ests[i]-ref)))
+	}
+	t.AddNote("paper: 10 vs 100 training inputs differ by only 0.12%%")
+	return t, nil
+}

@@ -1,0 +1,149 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated substrates. Each experiment is
+// registered under the paper's figure id and produces a Table whose rows
+// are the series the figure plots.
+//
+// Absolute numbers differ from the paper (synthetic corpus, simulated
+// power model, different hardware); the experiments reproduce the *shape*
+// of each result: orderings, approximate improvement factors, crossovers,
+// and convergence behavior. EXPERIMENTS.md records paper-vs-measured for
+// each figure.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Seed determinizes workloads. Zero selects 42.
+	Seed int64
+	// Scale multiplies workload sizes (queries, inputs, generations).
+	// 1.0 is the full configuration used for EXPERIMENTS.md; tests use
+	// small scales. Zero selects 1.0.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled returns max(minimum, round(n*scale)).
+func (o Options) scaled(n int, minimum int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < minimum {
+		v = minimum
+	}
+	return v
+}
+
+// Table is one regenerated figure/table.
+type Table struct {
+	// ID is the experiment id, e.g. "fig10".
+	ID string
+	// Title describes the paper content being reproduced.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+	// Notes carry free-form observations (chosen combination, cutoff
+	// points, convergence iteration...).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment's table.
+type Runner func(Options) (*Table, error)
+
+type registration struct {
+	runner Runner
+	title  string
+}
+
+var registry = map[string]registration{}
+
+// register installs an experiment under its id; ids are registered by the
+// per-experiment files' init functions.
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = registration{runner: r, title: title}
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the registered description for an id.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Table, error) {
+	reg, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	t, err := reg.runner(opts.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	t.ID = id
+	if t.Title == "" {
+		t.Title = reg.title
+	}
+	return t, nil
+}
+
+// pct formats a fraction as a percentage, normalizing negative zero.
+func pct(f float64) string {
+	if f == 0 {
+		f = 0 // collapse -0
+	}
+	return fmt.Sprintf("%.2f%%", 100*f)
+}
+
+// norm formats a ratio as a normalized percentage (base = 100).
+func norm(f float64) string { return fmt.Sprintf("%.1f", 100*f) }

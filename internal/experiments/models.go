@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Calibrate runs the calibration phase for one named application and
+// returns its QoS model (a *model.LoopModel or *model.FuncModel, both
+// json.Marshaler). This is the programmatic face of cmd/greencal.
+func Calibrate(app string, o Options) (any, error) {
+	o = o.withDefaults()
+	switch app {
+	case "search":
+		f, err := newSearchFixture(o)
+		if err != nil {
+			return nil, err
+		}
+		return f.buildLoopModel(f.calQueries)
+	case "eon":
+		f := newEonFixture(o)
+		return f.eonLoopModel(len(f.cameras))
+	case "cga":
+		f, err := newCGAFixture(o)
+		if err != nil {
+			return nil, err
+		}
+		return f.cgaLoopModel(len(f.graphs))
+	case "exp":
+		return newBSFixture(o).calibrateExp()
+	case "log":
+		return newBSFixture(o).calibrateLog()
+	default:
+		return nil, fmt.Errorf("experiments: unknown app %q (have %v)",
+			app, CalibratableApps())
+	}
+}
+
+// CalibratableApps lists the applications Calibrate accepts.
+func CalibratableApps() []string {
+	apps := []string{"search", "eon", "cga", "exp", "log"}
+	sort.Strings(apps)
+	return apps
+}

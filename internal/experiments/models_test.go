@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"green/internal/model"
+)
+
+func TestCalibrateUnknownApp(t *testing.T) {
+	if _, err := Calibrate("nope", Options{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestCalibratableAppsListed(t *testing.T) {
+	apps := CalibratableApps()
+	if len(apps) != 5 {
+		t.Fatalf("apps = %v", apps)
+	}
+}
+
+func TestCalibrateLoopApps(t *testing.T) {
+	for _, app := range []string{"search", "cga"} {
+		m, err := Calibrate(app, Options{Seed: 42, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		lm, ok := m.(*model.LoopModel)
+		if !ok {
+			t.Fatalf("%s: got %T, want *model.LoopModel", app, m)
+		}
+		if len(lm.Levels()) == 0 {
+			t.Errorf("%s: empty model", app)
+		}
+		// The model must serialize (greencal's contract).
+		if _, err := json.Marshal(lm); err != nil {
+			t.Errorf("%s: marshal: %v", app, err)
+		}
+	}
+}
+
+func TestCalibrateFuncApps(t *testing.T) {
+	for _, app := range []string{"exp", "log"} {
+		m, err := Calibrate(app, Options{Seed: 42, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		fm, ok := m.(*model.FuncModel)
+		if !ok {
+			t.Fatalf("%s: got %T, want *model.FuncModel", app, m)
+		}
+		if len(fm.Versions) == 0 {
+			t.Errorf("%s: no versions", app)
+		}
+		if _, err := json.Marshal(fm); err != nil {
+			t.Errorf("%s: marshal: %v", app, err)
+		}
+	}
+}
+
+func TestCalibrateEon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rendering calibration is slow")
+	}
+	m, err := Calibrate("eon", Options{Seed: 42, Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, ok := m.(*model.LoopModel)
+	if !ok {
+		t.Fatalf("got %T", m)
+	}
+	// Loss at the largest knot must be below loss at the smallest.
+	levels := lm.Levels()
+	if lm.PredictLoss(levels[len(levels)-1]) >= lm.PredictLoss(levels[0]) {
+		t.Error("eon model not decreasing")
+	}
+}

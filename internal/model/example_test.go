@@ -1,0 +1,49 @@
+package model_test
+
+import (
+	"fmt"
+
+	"green/internal/model"
+)
+
+// ExampleLoopModel_StaticParams shows the paper's interface (1): the QoS
+// model inverts a target SLA into the early-termination threshold M.
+func ExampleLoopModel_StaticParams() {
+	m, err := model.BuildLoopModel("search.match", []model.CalPoint{
+		{Level: 100, QoSLoss: 0.10, Work: 100},
+		{Level: 500, QoSLoss: 0.02, Work: 500},
+		{Level: 1000, QoSLoss: 0.005, Work: 1000},
+	}, 5000, 5000)
+	if err != nil {
+		panic(err)
+	}
+	mSLA, err := m.StaticParams(0.02)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("M = %.0f iterations (%.1fx speedup)\n", mSLA, m.Speedup(mSLA))
+	// Output: M = 500 iterations (10.0x speedup)
+}
+
+// ExampleFuncModel_Ranges shows the paper's QoSModelFunc interface: per
+// input range, the cheapest approximate version meeting the SLA.
+func ExampleFuncModel_Ranges() {
+	m, err := model.BuildFuncModel("exp", 18, []model.VersionCurve{
+		{Name: "exp(3)", Work: 4, Samples: []model.FuncSample{
+			{X: 0, Loss: 0.001}, {X: 1, Loss: 0.05}, {X: 2, Loss: 0.4},
+		}},
+		{Name: "exp(4)", Work: 5, Samples: []model.FuncSample{
+			{X: 0, Loss: 0.0001}, {X: 1, Loss: 0.008}, {X: 2, Loss: 0.1},
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range m.Ranges(0.01) {
+		fmt.Printf("[%.2f, %.2f) -> %s\n", r.Lo, r.Hi, m.VersionName(r.Version))
+	}
+	// Output:
+	// [0.00, 0.50) -> exp(3)
+	// [0.50, 1.50) -> exp(4)
+	// [1.50, 2.00) -> precise
+}

@@ -1,0 +1,42 @@
+package raytracer
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WritePPM serializes the image as a binary PPM (P6) file with gamma-2.2
+// encoding — enough to eyeball renders without any imaging dependency.
+func (img *Image) WritePPM(w io.Writer) error {
+	if img.W <= 0 || img.H <= 0 || len(img.Pix) != img.W*img.H*3 {
+		return errors.New("raytracer: malformed image")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, img.W*3)
+	for y := 0; y < img.H; y++ {
+		buf = buf[:0]
+		for x := 0; x < img.W; x++ {
+			base := (y*img.W + x) * 3
+			for c := 0; c < 3; c++ {
+				v := img.Pix[base+c]
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				buf = append(buf, byte(255*math.Pow(v, 1/2.2)+0.5))
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package raytracer
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestWritePPMHeaderAndSize(t *testing.T) {
+	img := NewImage(4, 3)
+	img.Pix[0] = 1 // top-left red channel
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var w, h, maxv int
+	var magic string
+	n, err := fmt.Fscanf(bytes.NewReader(buf.Bytes()), "P6\n%d %d\n%d\n", &w, &h, &maxv)
+	if err != nil || n != 3 {
+		t.Fatalf("header parse: %v (%d fields)", err, n)
+	}
+	_ = magic
+	if w != 4 || h != 3 || maxv != 255 {
+		t.Errorf("header = %d %d %d", w, h, maxv)
+	}
+	// Body: exactly w*h*3 bytes after the header.
+	header := fmt.Sprintf("P6\n%d %d\n%d\n", w, h, maxv)
+	if got := buf.Len() - len(header); got != 4*3*3 {
+		t.Errorf("body = %d bytes, want %d", got, 36)
+	}
+	// First byte is the gamma-encoded full-red = 255.
+	if b := buf.Bytes()[len(header)]; b != 255 {
+		t.Errorf("first byte = %d, want 255", b)
+	}
+	// An untouched black pixel stays 0.
+	if b := buf.Bytes()[len(header)+3]; b != 0 {
+		t.Errorf("black pixel byte = %d, want 0", b)
+	}
+}
+
+func TestWritePPMClampsOutOfRange(t *testing.T) {
+	img := NewImage(1, 1)
+	img.Pix[0] = 5
+	img.Pix[1] = -1
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[len("P6\n1 1\n255\n"):]
+	if body[0] != 255 || body[1] != 0 {
+		t.Errorf("clamped bytes = %v", body[:3])
+	}
+}
+
+func TestWritePPMRejectsMalformed(t *testing.T) {
+	bad := &Image{W: 2, H: 2, Pix: make([]float64, 5)}
+	if err := bad.WritePPM(&bytes.Buffer{}); err == nil {
+		t.Error("malformed image accepted")
+	}
+	if err := (&Image{}).WritePPM(&bytes.Buffer{}); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestWritePPMRenderedScene(t *testing.T) {
+	img, _, err := Render(NewScene(1), RandomCamera(2), 8, 6, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 8*6*3 {
+		t.Errorf("output too small: %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,53 @@
+package raytracer
+
+import "math"
+
+// Vec is a 3-component vector used for points, directions, and linear RGB
+// colors.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns the component-wise product v * w (color modulation).
+func (v Vec) Mul(w Vec) Vec { return Vec{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product.
+func (v Vec) Cross(w Vec) Vec {
+	return Vec{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean norm.
+func (v Vec) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm returns the unit vector in v's direction (zero vector unchanged).
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Ray is an origin and unit direction.
+type Ray struct {
+	Origin, Dir Vec
+}
+
+// At returns the point at parameter t along the ray.
+func (r Ray) At(t float64) Vec { return r.Origin.Add(r.Dir.Scale(t)) }

@@ -1,0 +1,41 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEngine hardens the index parser: arbitrary input must produce
+// either a valid engine or ErrBadIndex — never a panic or a hang.
+func FuzzReadEngine(f *testing.F) {
+	// Seed with a real index and a few mutations of it.
+	e, err := NewEngine(Config{Docs: 200, VocabSize: 30, AvgDocLen: 10, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GRNIDX1\n"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[50] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, err := ReadEngine(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed engine must be internally consistent
+		// enough to serve a query without panicking.
+		if eng.Docs() <= 0 || eng.Vocab() <= 0 {
+			t.Fatalf("parsed engine with sizes %d/%d", eng.Docs(), eng.Vocab())
+		}
+		eng.Search(Query{Terms: []int{0, 1}}, 5, 100)
+	})
+}

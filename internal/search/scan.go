@@ -1,0 +1,82 @@
+package search
+
+import "math"
+
+// Scan is an incremental query execution: matching documents are scored
+// one Step at a time in doc-id (descending static rank) order while a
+// running top-N is maintained. It exposes the per-query matching-document
+// loop as an iterable so the Green loop controller can approximate it —
+// the operational form of the paper's Bing Search integration.
+type Scan struct {
+	engine  *Engine
+	cursors []scanCursor
+	heap    *topN
+	n       int
+	topNCap int
+}
+
+type scanCursor struct {
+	ps  []Posting
+	pos int
+	idf float64
+}
+
+// NewScan starts an incremental execution of q keeping the best topN
+// documents.
+func (e *Engine) NewScan(q Query, topN int) *Scan {
+	s := &Scan{engine: e, heap: newTopN(topN), topNCap: topN}
+	for _, t := range q.Terms {
+		if t < 0 || t >= len(e.postings) || len(e.postings[t]) == 0 {
+			continue
+		}
+		s.cursors = append(s.cursors, scanCursor{ps: e.postings[t], idf: e.idf[t]})
+	}
+	return s
+}
+
+// Step scores the next matching document and reports whether one existed.
+func (s *Scan) Step() bool {
+	if s.topNCap <= 0 {
+		return false
+	}
+	cur := uint32(math.MaxUint32)
+	for i := range s.cursors {
+		c := &s.cursors[i]
+		if c.pos < len(c.ps) && c.ps[c.pos].Doc < cur {
+			cur = c.ps[c.pos].Doc
+		}
+	}
+	if cur == math.MaxUint32 {
+		return false
+	}
+	e := s.engine
+	score := e.quality[cur]
+	for i := range s.cursors {
+		c := &s.cursors[i]
+		if c.pos < len(c.ps) && c.ps[c.pos].Doc == cur {
+			tf := float64(c.ps[c.pos].TF)
+			norm := bm25K1 * (1 - bm25B + bm25B*float64(e.docLen[cur])/e.avgLen)
+			score += c.idf * tf * (bm25K1 + 1) / (tf + norm)
+			c.pos++
+		}
+	}
+	s.heap.push(Result{Doc: cur, Score: score})
+	s.n++
+	return true
+}
+
+// Processed returns the number of matching documents scored so far.
+func (s *Scan) Processed() int { return s.n }
+
+// TopN returns the current ranked top-N document ids.
+func (s *Scan) TopN() []int { return s.heap.ranked() }
+
+// Exhausted reports whether all matching documents have been scored.
+func (s *Scan) Exhausted() bool {
+	for i := range s.cursors {
+		if s.cursors[i].pos < len(s.cursors[i].ps) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package search
+
+import (
+	"testing"
+
+	"green/internal/metrics"
+)
+
+func TestScanMatchesSearch(t *testing.T) {
+	e := smallEngine(t)
+	qs, err := e.GenerateQueries(21, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		want, wantN := e.Search(q, 10, 0)
+		s := e.NewScan(q, 10)
+		for s.Step() {
+		}
+		if s.Processed() != wantN {
+			t.Fatalf("query %d: scan processed %d, Search %d", q.ID, s.Processed(), wantN)
+		}
+		if !metrics.TopNExactMatch(want, s.TopN()) {
+			t.Fatalf("query %d: scan top-N differs from Search", q.ID)
+		}
+		if !s.Exhausted() {
+			t.Fatalf("query %d: scan not exhausted after full drain", q.ID)
+		}
+	}
+}
+
+func TestScanPrefixMatchesCappedSearch(t *testing.T) {
+	e := smallEngine(t)
+	q := Query{Terms: []int{0, 2}}
+	want, wantN := e.Search(q, 10, 150)
+	s := e.NewScan(q, 10)
+	for i := 0; i < 150 && s.Step(); i++ {
+	}
+	if s.Processed() != wantN {
+		t.Fatalf("processed %d vs capped Search %d", s.Processed(), wantN)
+	}
+	if !metrics.TopNExactMatch(want, s.TopN()) {
+		t.Fatal("prefix scan differs from capped Search")
+	}
+}
+
+func TestScanEmptyQuery(t *testing.T) {
+	e := smallEngine(t)
+	s := e.NewScan(Query{}, 10)
+	if s.Step() {
+		t.Error("Step on empty query returned true")
+	}
+	if !s.Exhausted() || s.Processed() != 0 {
+		t.Error("empty scan state wrong")
+	}
+}
+
+func TestScanZeroTopN(t *testing.T) {
+	e := smallEngine(t)
+	s := e.NewScan(Query{Terms: []int{0}}, 0)
+	if s.Step() {
+		t.Error("Step with topN=0 returned true")
+	}
+}
+
+func TestScanTopNStabilizes(t *testing.T) {
+	// After full processing the incremental top-N must be stable under
+	// further Step calls (which return false).
+	e := smallEngine(t)
+	s := e.NewScan(Query{Terms: []int{1}}, 5)
+	for s.Step() {
+	}
+	before := s.TopN()
+	s.Step()
+	after := s.TopN()
+	if !metrics.TopNExactMatch(before, after) {
+		t.Error("top-N changed after exhaustion")
+	}
+}

@@ -1,0 +1,349 @@
+// Package search implements a small ranked-retrieval web-search back-end
+// standing in for the paper's Bing Search substrate: an inverted index
+// over a synthetic corpus, BM25+static-rank scoring, and top-N retrieval
+// with an optional cap M on the number of matching documents processed per
+// query — exactly the approximation knob the paper evaluates ("limit the
+// maximum number of documents (M) that each query must process").
+//
+// The production index and query logs are proprietary, so the corpus is
+// synthetic: term occurrences follow a Zipf distribution, documents carry
+// a static quality prior, and document ids are assigned in descending
+// quality order — the standard static-rank index layout that makes
+// early termination meaningful (the best documents tend to appear early in
+// every posting list, and the dynamic BM25 component occasionally promotes
+// a late document into the top N, which is what the QoS loss measures).
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"green/internal/workload"
+)
+
+// Config describes a synthetic corpus and engine.
+type Config struct {
+	// Docs is the corpus size.
+	Docs int
+	// VocabSize is the number of distinct terms.
+	VocabSize int
+	// AvgDocLen is the mean document length in terms.
+	AvgDocLen int
+	// QualityWeight scales the static quality prior relative to the BM25
+	// dynamic score; larger values make early termination safer. Zero
+	// selects the tuned default (12.0).
+	QualityWeight float64
+	// StopTerms is the number of head (most frequent) vocabulary terms
+	// excluded from generated queries, modeling stopword removal: without
+	// it every query matches nearly the whole corpus. Zero selects the
+	// default (50).
+	StopTerms int
+	// Seed makes corpus generation deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Docs == 0 {
+		out.Docs = 20000
+	}
+	if out.VocabSize == 0 {
+		out.VocabSize = 2000
+	}
+	if out.AvgDocLen == 0 {
+		out.AvgDocLen = 60
+	}
+	if out.QualityWeight == 0 {
+		out.QualityWeight = 16.0
+	}
+	if out.StopTerms == 0 {
+		out.StopTerms = 50
+	}
+	return out
+}
+
+// Posting is one document entry in a term's posting list.
+type Posting struct {
+	Doc uint32
+	TF  uint16
+}
+
+// Engine is the search back-end.
+type Engine struct {
+	cfg      Config
+	postings [][]Posting // term -> postings sorted by doc id
+	docLen   []int
+	quality  []float64 // per-doc static prior, decreasing in doc id
+	avgLen   float64
+	idf      []float64
+}
+
+// NewEngine builds the corpus and inverted index.
+func NewEngine(cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	if c.Docs < 10 || c.VocabSize < 10 || c.AvgDocLen < 1 {
+		return nil, errors.New("search: corpus too small")
+	}
+	e := &Engine{
+		cfg:      c,
+		postings: make([][]Posting, c.VocabSize),
+		docLen:   make([]int, c.Docs),
+		quality:  make([]float64, c.Docs),
+	}
+	termZipf, err := workload.NewZipf(workload.Split(c.Seed, 1), 1.4, uint64(c.VocabSize))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	lenRng := workload.NewRand(workload.Split(c.Seed, 2))
+	qualRng := workload.NewRand(workload.Split(c.Seed, 3))
+
+	// Doc ids are assigned in descending static quality: quality decays
+	// linearly with id plus light noise, mimicking a static-rank-sorted
+	// index.
+	for d := 0; d < c.Docs; d++ {
+		frac := float64(d) / float64(c.Docs)
+		e.quality[d] = c.QualityWeight * ((1 - frac) + 0.05*qualRng.NormFloat64())
+	}
+
+	// Build documents term by term.
+	totalLen := 0
+	tfs := make(map[uint32]uint16)
+	for d := 0; d < c.Docs; d++ {
+		n := c.AvgDocLen/2 + lenRng.Intn(c.AvgDocLen) // ~uniform around avg
+		e.docLen[d] = n
+		totalLen += n
+		clear(tfs)
+		for i := 0; i < n; i++ {
+			tfs[uint32(termZipf.Next())]++
+		}
+		for term, tf := range tfs {
+			e.postings[term] = append(e.postings[term], Posting{Doc: uint32(d), TF: tf})
+		}
+	}
+	e.avgLen = float64(totalLen) / float64(c.Docs)
+	// Postings were appended in increasing doc id already, but sort
+	// defensively (cheap, one-time).
+	for t := range e.postings {
+		ps := e.postings[t]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
+	}
+	// Precompute IDF.
+	e.idf = make([]float64, c.VocabSize)
+	for t := range e.idf {
+		df := float64(len(e.postings[t]))
+		e.idf[t] = math.Log(1 + (float64(c.Docs)-df+0.5)/(df+0.5))
+	}
+	return e, nil
+}
+
+// Docs returns the corpus size.
+func (e *Engine) Docs() int { return e.cfg.Docs }
+
+// Vocab returns the vocabulary size.
+func (e *Engine) Vocab() int { return e.cfg.VocabSize }
+
+// StopTerms returns the number of head terms excluded from queries.
+func (e *Engine) StopTerms() int { return e.cfg.StopTerms }
+
+// DocFreq returns the document frequency of a term.
+func (e *Engine) DocFreq(term int) int {
+	if term < 0 || term >= len(e.postings) {
+		return 0
+	}
+	return len(e.postings[term])
+}
+
+// Query is one search request.
+type Query struct {
+	ID    int
+	Terms []int
+}
+
+// GenerateQueries derives a deterministic query log whose term choices
+// follow the corpus Zipf distribution (1–3 terms per query) over the
+// post-stopword vocabulary, standing in for the production query logs.
+func (e *Engine) GenerateQueries(seed int64, n int) ([]Query, error) {
+	vocab := e.cfg.VocabSize - e.cfg.StopTerms
+	if vocab < 10 {
+		vocab = e.cfg.VocabSize
+	}
+	z, err := workload.NewZipf(workload.Split(seed, 10), 1.8, uint64(vocab))
+	if err != nil {
+		return nil, err
+	}
+	rng := workload.NewRand(workload.Split(seed, 11))
+	qs := make([]Query, n)
+	for i := range qs {
+		k := 1 + rng.Intn(3)
+		terms := make([]int, 0, k)
+		for len(terms) < k {
+			t := e.cfg.VocabSize - vocab + int(z.Next())
+			dup := false
+			for _, u := range terms {
+				if u == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				terms = append(terms, t)
+			}
+		}
+		qs[i] = Query{ID: i, Terms: terms}
+	}
+	return qs, nil
+}
+
+// bm25 parameters.
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Result is one retrieved document.
+type Result struct {
+	Doc   uint32
+	Score float64
+}
+
+// Search executes the query and returns the top-N document ids in rank
+// order plus the number of matching documents actually scored (the work
+// performed). maxDocs caps the matching documents processed; maxDocs <= 0
+// means no cap (the precise version). Matching documents are processed in
+// doc-id order — i.e. descending static rank — so the cap keeps the
+// best-static-rank candidates, as a real engine's early termination does.
+func (e *Engine) Search(q Query, topN, maxDocs int) ([]int, int) {
+	if topN <= 0 {
+		return nil, 0
+	}
+	// K-way merge over the query terms' posting lists in doc-id order.
+	type cursor struct {
+		ps  []Posting
+		pos int
+		idf float64
+	}
+	cursors := make([]cursor, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		if t < 0 || t >= len(e.postings) || len(e.postings[t]) == 0 {
+			continue
+		}
+		cursors = append(cursors, cursor{ps: e.postings[t], idf: e.idf[t]})
+	}
+	if len(cursors) == 0 {
+		return nil, 0
+	}
+
+	heap := newTopN(topN)
+	processed := 0
+	for {
+		// Find the smallest current doc id among cursors.
+		cur := uint32(math.MaxUint32)
+		for i := range cursors {
+			if cursors[i].pos < len(cursors[i].ps) {
+				if d := cursors[i].ps[cursors[i].pos].Doc; d < cur {
+					cur = d
+				}
+			}
+		}
+		if cur == math.MaxUint32 {
+			break
+		}
+		// Score the doc across all terms that contain it.
+		score := e.quality[cur]
+		for i := range cursors {
+			c := &cursors[i]
+			if c.pos < len(c.ps) && c.ps[c.pos].Doc == cur {
+				tf := float64(c.ps[c.pos].TF)
+				norm := bm25K1 * (1 - bm25B + bm25B*float64(e.docLen[cur])/e.avgLen)
+				score += c.idf * tf * (bm25K1 + 1) / (tf + norm)
+				c.pos++
+			}
+		}
+		heap.push(Result{Doc: cur, Score: score})
+		processed++
+		if maxDocs > 0 && processed >= maxDocs {
+			break
+		}
+	}
+	return heap.ranked(), processed
+}
+
+// MatchCount returns the number of documents matching the query (the work
+// of the precise version).
+func (e *Engine) MatchCount(q Query) int {
+	_, n := e.Search(q, 1, 0)
+	return n
+}
+
+// topN is a fixed-capacity min-heap keeping the N best results with
+// deterministic tie-breaking (higher score wins; equal scores prefer the
+// lower doc id, i.e. the higher static rank).
+type topN struct {
+	n  int
+	rs []Result
+}
+
+func newTopN(n int) *topN { return &topN{n: n} }
+
+// less reports whether a ranks strictly worse than b.
+func less(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+func (t *topN) push(r Result) {
+	if len(t.rs) < t.n {
+		t.rs = append(t.rs, r)
+		t.up(len(t.rs) - 1)
+		return
+	}
+	if less(r, t.rs[0]) {
+		return
+	}
+	t.rs[0] = r
+	t.down(0)
+}
+
+func (t *topN) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(t.rs[i], t.rs[p]) {
+			break
+		}
+		t.rs[i], t.rs[p] = t.rs[p], t.rs[i]
+		i = p
+	}
+}
+
+func (t *topN) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(t.rs) && less(t.rs[l], t.rs[m]) {
+			m = l
+		}
+		if r < len(t.rs) && less(t.rs[r], t.rs[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.rs[i], t.rs[m] = t.rs[m], t.rs[i]
+		i = m
+	}
+}
+
+// ranked returns doc ids best-first.
+func (t *topN) ranked() []int {
+	rs := append([]Result(nil), t.rs...)
+	sort.Slice(rs, func(i, j int) bool { return less(rs[j], rs[i]) })
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = int(r.Doc)
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+// Package serve exposes the Green-approximated search back-end as an
+// HTTP service — the deployment shape the paper motivates ("cloud-based
+// companies provide web services with Service Level Agreements").
+//
+// Endpoints:
+//
+//	GET /search?q=<words>   ranked results as JSON; the per-query
+//	                        matching-document loop runs under the Green
+//	                        loop controller
+//	GET /stats              runtime counters: queries, monitored queries,
+//	                        mean monitored QoS loss, current M, documents
+//	                        scored vs the precise engine
+//	GET /config             the active SLA and model parameters
+//	GET /healthz            liveness probe
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"green/internal/core"
+	"green/internal/metrics"
+	"green/internal/search"
+	"green/internal/workload"
+)
+
+// Config configures the service.
+type Config struct {
+	// SLA is the fraction of queries allowed to return a different
+	// top-N result page (default 0.02).
+	SLA float64
+	// TopN is the result-page size (default 10).
+	TopN int
+	// Seed determinizes the synthetic corpus.
+	Seed int64
+	// CalibrationQueries sizes the startup calibration (default 500).
+	CalibrationQueries int
+	// SampleInterval is the recalibration monitoring interval (default
+	// 10000, with a 100-query window policy: a 1% monitoring duty cycle,
+	// the rate at which the paper found Green's overhead
+	// indistinguishable from the base version).
+	SampleInterval int
+	// CorpusDocs overrides the synthetic corpus size (default 20000);
+	// tests use smaller corpora.
+	CorpusDocs int
+	// Disabled forces precise execution (the paper's base version): the
+	// loop controller is still installed, but QoS_Approx always answers
+	// "do not approximate".
+	Disabled bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SLA == 0 {
+		c.SLA = 0.02
+	}
+	if c.TopN == 0 {
+		c.TopN = 10
+	}
+	if c.CalibrationQueries == 0 {
+		c.CalibrationQueries = 500
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 10000
+	}
+	return c
+}
+
+// Server is the Green-approximated search service.
+type Server struct {
+	cfg    Config
+	engine *search.Engine
+	loop   *core.Loop
+
+	queries    atomic.Int64
+	docsScored atomic.Int64
+	// Monitored executions run the full scan anyway, so they provide a
+	// free estimator of the precise per-query work; the serving path
+	// never pays for an extra full scan just to compute statistics.
+	monitoredFullDocs atomic.Int64
+	monitoredQueries  atomic.Int64
+}
+
+// New builds the corpus, runs the calibration phase, and constructs the
+// operational loop controller.
+func New(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	if c.SLA < 0 || c.SLA >= 1 {
+		return nil, errors.New("serve: SLA must be in [0, 1)")
+	}
+	engine, err := search.NewEngine(search.Config{Seed: c.Seed, Docs: c.CorpusDocs})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: c, engine: engine}
+
+	// Calibration phase.
+	calQueries, err := engine.GenerateQueries(workload.Split(c.Seed, 1), c.CalibrationQueries)
+	if err != nil {
+		return nil, err
+	}
+	knots := []float64{100, 250, 500, 1000, 2500, 5000, 10000}
+	baseLevel := float64(engine.Docs())
+	cal, err := core.NewLoopCalibration("serve.match", knots, baseLevel, baseLevel)
+	if err != nil {
+		return nil, err
+	}
+	losses := make([]float64, len(knots))
+	work := make([]float64, len(knots))
+	for _, q := range calQueries {
+		precise, _ := engine.Search(q, c.TopN, 0)
+		for i, k := range knots {
+			approx, processed := engine.Search(q, c.TopN, int(k))
+			losses[i] = metrics.QueryLoss(precise, approx)
+			work[i] = float64(processed)
+		}
+		if err := cal.AddRun(losses, work); err != nil {
+			return nil, err
+		}
+	}
+	m, err := cal.Build()
+	if err != nil {
+		return nil, err
+	}
+	s.loop, err = core.NewLoop(core.LoopConfig{
+		Name: "serve.match", Model: m, SLA: c.SLA,
+		SampleInterval: c.SampleInterval,
+		Policy: &core.WindowedPolicy{
+			Window: 100, BaseInterval: c.SampleInterval,
+		},
+		Disabled: c.Disabled,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// termsOf maps query words onto the synthetic vocabulary by hashing —
+// the stand-in for a tokenizer + dictionary over a real index. Words hash
+// into the *popular* post-stopword band of the Zipf vocabulary: real
+// query traffic overwhelmingly hits common terms, and that is the
+// distribution the engine was calibrated for.
+func (s *Server) termsOf(q string) []int {
+	fields := strings.Fields(strings.ToLower(q))
+	terms := make([]int, 0, len(fields))
+	band := s.engine.Vocab() / 10
+	if band < 1 {
+		band = 1
+	}
+	for _, f := range fields {
+		h := fnv.New32a()
+		h.Write([]byte(f))
+		t := s.engine.StopTerms() + int(h.Sum32()%uint32(band))
+		if t >= s.engine.Vocab() {
+			t = s.engine.Vocab() - 1
+		}
+		dup := false
+		for _, u := range terms {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			terms = append(terms, t)
+		}
+	}
+	return terms
+}
+
+// searchResponse is the /search JSON shape.
+type searchResponse struct {
+	Query         string `json:"query"`
+	Docs          []int  `json:"docs"`
+	DocsScored    int    `json:"docs_scored"`
+	Approximated  bool   `json:"approximated"`
+	MonitoredScan bool   `json:"monitored"`
+}
+
+// statsResponse is the /stats JSON shape.
+type statsResponse struct {
+	Queries           int64   `json:"queries"`
+	Monitored         int64   `json:"monitored"`
+	MeanMonitoredLoss float64 `json:"mean_monitored_loss"`
+	CurrentM          float64 `json:"current_m"`
+	DocsScored        int64   `json:"docs_scored"`
+	DocsPrecise       int64   `json:"docs_precise_equivalent"`
+	WorkSavedFraction float64 `json:"work_saved_fraction"`
+}
+
+// configResponse is the /config JSON shape.
+type configResponse struct {
+	SLA            float64 `json:"sla"`
+	TopN           int     `json:"top_n"`
+	SampleInterval int     `json:"sample_interval"`
+	CorpusDocs     int     `json:"corpus_docs"`
+	InitialM       float64 `json:"initial_m"`
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /config", s.handleConfig)
+	return mux
+}
+
+// serveQuery runs one query under the loop controller.
+func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
+	qos := &serveQoS{engine: s.engine, query: q, topN: s.cfg.TopN}
+	exec, err := s.loop.Begin(qos)
+	if err != nil {
+		return nil, err
+	}
+	scan := s.engine.NewScan(q, s.cfg.TopN)
+	i := 0
+	for exec.Continue(i) && scan.Step() {
+		i++
+	}
+	res := exec.Finish(i)
+	s.queries.Add(1)
+	s.docsScored.Add(int64(scan.Processed()))
+	if res.Monitored {
+		s.monitoredFullDocs.Add(int64(scan.Processed()))
+		s.monitoredQueries.Add(1)
+	}
+	return &searchResponse{
+		Docs:          scan.TopN(),
+		DocsScored:    scan.Processed(),
+		Approximated:  res.Approximated,
+		MonitoredScan: res.Monitored,
+	}, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	qstr := r.URL.Query().Get("q")
+	if strings.TrimSpace(qstr) == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	terms := s.termsOf(qstr)
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "or":
+		resp, err := s.serveQuery(search.Query{Terms: terms})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Query = qstr
+		writeJSON(w, resp)
+	case "and":
+		// Strict conjunctive queries bypass approximation: the QoS model
+		// was calibrated for the disjunctive scan, and conjunctive match
+		// sets are short enough to serve precisely.
+		docs, n := s.engine.SearchAnd(search.Query{Terms: terms}, s.cfg.TopN, 0)
+		s.queries.Add(1)
+		s.docsScored.Add(int64(n))
+		writeJSON(w, &searchResponse{Query: qstr, Docs: docs, DocsScored: n})
+	default:
+		http.Error(w, "mode must be 'or' or 'and'", http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	execs, monitored, meanLoss := s.loop.Stats()
+	scored := s.docsScored.Load()
+	// Estimate the precise-equivalent work from the monitored full
+	// scans: mean full-scan size times queries served.
+	var precise int64
+	if mq := s.monitoredQueries.Load(); mq > 0 {
+		precise = s.monitoredFullDocs.Load() / mq * s.queries.Load()
+	}
+	saved := 0.0
+	if precise > 0 {
+		saved = 1 - float64(scored)/float64(precise)
+		if saved < 0 {
+			saved = 0
+		}
+	}
+	writeJSON(w, statsResponse{
+		Queries:           execs,
+		Monitored:         monitored,
+		MeanMonitoredLoss: meanLoss,
+		CurrentM:          s.loop.Level(),
+		DocsScored:        scored,
+		DocsPrecise:       precise,
+		WorkSavedFraction: saved,
+	})
+}
+
+func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, configResponse{
+		SLA:            s.cfg.SLA,
+		TopN:           s.cfg.TopN,
+		SampleInterval: s.cfg.SampleInterval,
+		CorpusDocs:     s.engine.Docs(),
+		InitialM:       s.loop.Level(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Loop exposes the controller, for operational tooling and tests.
+func (s *Server) Loop() *core.Loop { return s.loop }
+
+// Engine exposes the search engine, for tests.
+func (s *Server) Engine() *search.Engine { return s.engine }
+
+// serveQoS adapts a served query to core.LoopQoS.
+type serveQoS struct {
+	engine   *search.Engine
+	query    search.Query
+	topN     int
+	recorded []int
+}
+
+func (q *serveQoS) Record(iter int) {
+	q.recorded, _ = q.engine.Search(q.query, q.topN, iter)
+}
+
+func (q *serveQoS) Loss(int) float64 {
+	precise, _ := q.engine.Search(q.query, q.topN, 0)
+	return metrics.QueryLoss(precise, q.recorded)
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// testServer builds a small service once per test run.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{Seed: 7, CalibrationQueries: 100, CorpusDocs: 4000,
+		SampleInterval: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SLA: -0.1}); err == nil {
+		t.Error("negative SLA accepted")
+	}
+	if _, err := New(Config{SLA: 1.5}); err == nil {
+		t.Error("SLA >= 1 accepted")
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	rec := get(t, h, "/search?q=alpha+beta")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query != "alpha beta" {
+		t.Errorf("echoed query = %q", resp.Query)
+	}
+	if resp.DocsScored <= 0 {
+		t.Errorf("docs scored = %d", resp.DocsScored)
+	}
+	if len(resp.Docs) == 0 {
+		t.Error("no results")
+	}
+	// Same query again: deterministic results.
+	rec2 := get(t, h, "/search?q=alpha+beta")
+	var resp2 searchResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) != len(resp2.Docs) {
+		t.Error("result size unstable")
+	}
+}
+
+func TestSearchRequiresQuery(t *testing.T) {
+	h := testServer(t).Handler()
+	if rec := get(t, h, "/search"); rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/search?q=%20"); rec.Code != http.StatusBadRequest {
+		t.Errorf("blank query status = %d, want 400", rec.Code)
+	}
+}
+
+func TestSearchAndMode(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := get(t, h, "/search?q=alpha+beta&mode=and")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var andResp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &andResp); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, h, "/search?q=alpha+beta&mode=or")
+	var orResp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &orResp); err != nil {
+		t.Fatal(err)
+	}
+	if andResp.DocsScored > orResp.DocsScored {
+		t.Errorf("AND scored %d > OR %d", andResp.DocsScored, orResp.DocsScored)
+	}
+	if andResp.Approximated {
+		t.Error("AND mode must not be approximated")
+	}
+	if rec := get(t, h, "/search?q=x&mode=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus mode status = %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	for i := 0; i < 5; i++ {
+		get(t, h, "/search?q=hello+world")
+	}
+	rec := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 5 {
+		t.Errorf("queries = %d, want 5", st.Queries)
+	}
+	if st.CurrentM <= 0 {
+		t.Errorf("current M = %v", st.CurrentM)
+	}
+	if st.DocsScored <= 0 {
+		t.Errorf("docs scored = %d", st.DocsScored)
+	}
+	if st.WorkSavedFraction < 0 || st.WorkSavedFraction >= 1 {
+		t.Errorf("work saved = %v", st.WorkSavedFraction)
+	}
+}
+
+func TestConfigEndpoint(t *testing.T) {
+	h := testServer(t).Handler()
+	rec := get(t, h, "/config")
+	var c configResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.SLA != 0.02 || c.TopN != 10 || c.CorpusDocs <= 0 || c.InitialM <= 0 {
+		t.Errorf("config = %+v", c)
+	}
+}
+
+func TestApproximationSavesWork(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	// Drive enough distinct queries that at least some hit long posting
+	// lists where the cap bites.
+	words := []string{"ocean", "tree", "river", "cloud", "stone", "light",
+		"wind", "fire", "earth", "snow", "rain", "storm"}
+	for i, w := range words {
+		for j := i + 1; j < len(words); j++ {
+			get(t, h, "/search?q="+w+"+"+words[j])
+		}
+	}
+	rec := get(t, h, "/stats")
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkSavedFraction <= 0 {
+		t.Errorf("approximation saved no work: %+v", st)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := http.Get(srv.URL + "/search?q=parallel+request")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var st statsResponse
+	rec := get(t, s.Handler(), "/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 32 {
+		t.Errorf("queries = %d, want 32", st.Queries)
+	}
+}
+
+func TestTermsOfDeduplicatesAndBounds(t *testing.T) {
+	s := testServer(t)
+	terms := s.termsOf("Word word WORD other")
+	if len(terms) < 1 || len(terms) > 3 {
+		t.Fatalf("terms = %v", terms)
+	}
+	seen := map[int]bool{}
+	for _, term := range terms {
+		if term < 0 || term >= s.Engine().Vocab() {
+			t.Fatalf("term %d out of range", term)
+		}
+		if seen[term] {
+			t.Fatalf("duplicate term %d", term)
+		}
+		seen[term] = true
+	}
+	// "word" in any case maps to one term.
+	if len(s.termsOf("case CASE Case")) != 1 {
+		t.Error("case folding failed")
+	}
+}

@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic data set is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("negative percentile should error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile > 100 should error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if got := ConfidenceInterval95([]float64{1}); got != 0 {
+		t.Errorf("CI of singleton = %v, want 0", got)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // alternating 0/1, stddev ~0.5025
+	}
+	ci := ConfidenceInterval95(xs)
+	want := 1.96 * StdDev(xs) / 10
+	if !almostEqual(ci, want, 1e-12) {
+		t.Errorf("CI = %v, want %v", ci, want)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-9) || !almostEqual(b, 2, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Errorf("fit = (%v, %v, r2=%v), want (1, 2, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("identical x should error")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	a, b, r2, err := LinearFit([]float64{0, 1, 2}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 4, 1e-9) || !almostEqual(b, 0, 1e-9) || r2 != 1 {
+		t.Errorf("constant fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+}
+
+func TestHistogramConstructorErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo == hi should error")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 4", got)
+	}
+	if _, err := GeometricMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive input should error")
+	}
+	if _, err := GeometricMean(nil); err != ErrEmpty {
+		t.Errorf("empty err = %v, want ErrEmpty", err)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("percentile not monotone at p=%v: %v < %v", p, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// Property: variance is non-negative and zero for constant samples.
+func TestVarianceProperty(t *testing.T) {
+	f := func(x float64, n uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			return true
+		}
+		xs := make([]float64, int(n%16)+2)
+		for i := range xs {
+			xs[i] = x
+		}
+		return almostEqual(Variance(xs), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramFuzzAllAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, err := NewHistogram(-3, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	if h.Total() != n {
+		t.Errorf("Total = %d, want %d", h.Total(), n)
+	}
+}

@@ -1,0 +1,131 @@
+// Package workload provides the deterministic input generators shared by
+// the experiment substrates: a Zipf sampler for search corpora and query
+// logs, uniform/normal scalar streams for signals and option portfolios,
+// and seed-splitting so every experiment is reproducible from a single
+// root seed.
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic PRNG for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives a child seed from a root seed and a stream index, so
+// independent generators can be created from one experiment seed without
+// correlation.
+func Split(seed int64, stream int64) int64 {
+	// SplitMix64-style mixing.
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Zipf draws integers in [0, n) with P(k) proportional to 1/(k+1)^s,
+// which models both term popularity in a document corpus and query
+// frequency in a production log.
+type Zipf struct {
+	rng *rand.Rand
+	z   *rand.Zipf
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with exponent s > 1.
+func NewZipf(seed int64, s float64, n uint64) (*Zipf, error) {
+	if n == 0 {
+		return nil, errors.New("workload: zipf needs a positive range")
+	}
+	if s <= 1 {
+		return nil, errors.New("workload: zipf exponent must be > 1")
+	}
+	rng := NewRand(seed)
+	z := rand.NewZipf(rng, s, 1, n-1)
+	if z == nil {
+		return nil, errors.New("workload: invalid zipf parameters")
+	}
+	return &Zipf{rng: rng, z: z}, nil
+}
+
+// Next draws the next value.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// UniformFloats returns n values uniform in [lo, hi).
+func UniformFloats(seed int64, n int, lo, hi float64) []float64 {
+	rng := NewRand(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return xs
+}
+
+// NormalFloats returns n values drawn from N(mean, stddev).
+func NormalFloats(seed int64, n int, mean, stddev float64) []float64 {
+	rng := NewRand(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + stddev*rng.NormFloat64()
+	}
+	return xs
+}
+
+// LogNormalFloats returns n values whose logarithm is N(mu, sigma); used
+// for option spot/strike ratios, which cluster around 1.
+func LogNormalFloats(seed int64, n int, mu, sigma float64) []float64 {
+	rng := NewRand(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return xs
+}
+
+// Perm returns a deterministic random permutation of [0, n).
+func Perm(seed int64, n int) []int {
+	return NewRand(seed).Perm(n)
+}
+
+// Option is one European option for the blackscholes workload.
+type Option struct {
+	Spot     float64 // current underlying price
+	Strike   float64
+	Rate     float64 // risk-free rate
+	Vol      float64 // volatility
+	Maturity float64 // years
+	IsPut    bool
+}
+
+// Options generates a deterministic option portfolio mirroring the PARSEC
+// blackscholes input distribution: spot/strike ratios near 1 (so the log
+// arguments fall in the Taylor-friendly region the paper calibrates,
+// Figure 8(b)) and maturities/vols in realistic ranges.
+func Options(seed int64, n int) []Option {
+	rng := NewRand(seed)
+	opts := make([]Option, n)
+	for i := range opts {
+		strike := 20 + 80*rng.Float64()
+		ratio := math.Exp(0.15 * rng.NormFloat64()) // spot/strike around 1
+		opts[i] = Option{
+			Spot:     strike * ratio,
+			Strike:   strike,
+			Rate:     0.01 + 0.09*rng.Float64(),
+			Vol:      0.10 + 0.50*rng.Float64(),
+			Maturity: 0.25 + 2.75*rng.Float64(),
+			IsPut:    rng.Intn(2) == 0,
+		}
+	}
+	return opts
+}
+
+// Signal generates a deterministic random signal of n samples with real
+// values in [0, 1), matching the paper's DFT input data-sets ("each input
+// sample has a random real value from 0 to 1").
+func Signal(seed int64, n int) []float64 {
+	return UniformFloats(seed, n, 0, 1)
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Repository health check: build, vet, full tests (with race detector on
+# the concurrency-sensitive packages), and a compile pass over examples.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== race (concurrency-sensitive packages) =="
+go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search .
+
+echo "== benchmarks (smoke) =="
+go test -run xxx -bench . -benchtime 1x . > /dev/null
+
+echo "all checks passed"
