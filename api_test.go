@@ -25,7 +25,9 @@ func TestFacadeConstructors(t *testing.T) {
 	if loop.Level() <= 0 {
 		t.Error("loop has no level")
 	}
-	loop.SetAdaptive(green.AdaptiveParams{M: 5, Period: 5, TargetDelta: 0.1})
+	if err := loop.SetAdaptive(green.AdaptiveParams{M: 5, Period: 5, TargetDelta: 0.1}); err != nil {
+		t.Fatal(err)
+	}
 	if got := loop.Adaptive(); got.Period != 5 {
 		t.Errorf("SetAdaptive not applied: %+v", got)
 	}

@@ -1,0 +1,4 @@
+// Package cmdtest holds smoke tests for the command-line binaries: each
+// is built with the go tool and invoked with --help or another trivial
+// input, pinning flag parsing, usage output, and exit codes.
+package cmdtest

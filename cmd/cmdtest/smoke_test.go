@@ -1,0 +1,124 @@
+package cmdtest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package's directory.
+const repoRoot = "../.."
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries builds every cmd/... binary once per test run and returns the
+// output directory.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := filepath.Abs("testbin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir = dir
+		pkgs := []string{"./cmd/greencal", "./cmd/greenbench", "./cmd/greenserve", "./cmd/greenload", "./cmd/greenlint"}
+		cmd := exec.Command("go", append([]string{"build", "-o", dir + string(filepath.Separator)}, pkgs...)...)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("go build ./cmd/...: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building binaries: %v", buildErr)
+	}
+	return buildDir
+}
+
+// run invokes one built binary and returns combined output and exit code.
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	abs, err := filepath.Abs(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binaries(t), bin), args...)
+	cmd.Dir = abs // greenlint resolves go-list patterns from the module root
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	for _, bin := range []string{"greencal", "greenbench", "greenserve", "greenload", "greenlint"} {
+		t.Run(bin, func(t *testing.T) {
+			out, code := run(t, bin, "--help")
+			if code != 0 {
+				t.Fatalf("%s --help exited %d:\n%s", bin, code, out)
+			}
+			if !strings.Contains(strings.ToLower(out), "usage") {
+				t.Errorf("%s --help printed no usage:\n%s", bin, out)
+			}
+		})
+	}
+}
+
+func TestGreencalList(t *testing.T) {
+	out, code := run(t, "greencal", "-list")
+	if code != 0 || strings.TrimSpace(out) == "" {
+		t.Fatalf("greencal -list: exit %d, output %q", code, out)
+	}
+	if !strings.Contains(out, "search") {
+		t.Errorf("greencal -list does not mention the search app:\n%s", out)
+	}
+}
+
+func TestGreenbenchList(t *testing.T) {
+	out, code := run(t, "greenbench", "-list")
+	if code != 0 || strings.TrimSpace(out) == "" {
+		t.Fatalf("greenbench -list: exit %d, output %q", code, out)
+	}
+}
+
+func TestGreenlintList(t *testing.T) {
+	out, code := run(t, "greenlint", "-list")
+	if code != 0 {
+		t.Fatalf("greenlint -list exited %d:\n%s", code, out)
+	}
+	for _, check := range []string{"beginfinish", "continuecond", "slarange", "ctrlcopy", "calorder"} {
+		if !strings.Contains(out, check) {
+			t.Errorf("greenlint -list is missing check %q:\n%s", check, out)
+		}
+	}
+}
+
+func TestGreenlintFindsFixtureViolations(t *testing.T) {
+	out, code := run(t, "greenlint", "internal/lint/testdata/src/ctrlcopy")
+	if code != 1 {
+		t.Fatalf("greenlint on a broken fixture exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[ctrlcopy]") {
+		t.Errorf("diagnostics missing [ctrlcopy] tag:\n%s", out)
+	}
+}
+
+func TestGreenlintUnknownCheckExitsTwo(t *testing.T) {
+	out, code := run(t, "greenlint", "-checks", "nosuch", "internal/lint/testdata/src/ctrlcopy")
+	if code != 2 {
+		t.Fatalf("greenlint -checks nosuch exited %d, want 2:\n%s", code, out)
+	}
+}

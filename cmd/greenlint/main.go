@@ -1,0 +1,153 @@
+// Command greenlint runs the Green API static-analysis suite: the
+// compile-time contract the paper gets from its Phoenix compiler
+// extension, restored for this library port (see green/internal/lint).
+//
+// Usage:
+//
+//	greenlint ./...                      # lint the whole module
+//	greenlint ./examples/quickstart      # lint one directory
+//	greenlint -checks slarange,ctrlcopy ./...
+//	greenlint -list                      # list available checks
+//
+// Arguments are package patterns (resolved through `go list`) or plain
+// directories; directories may point anywhere inside the module,
+// including testdata trees the go tool refuses to build. Diagnostics are
+// printed as "file:line: [check] message"; the exit status is 1 when
+// findings exist, 2 on load/usage errors, 0 when clean.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"green/internal/lint"
+)
+
+func main() {
+	var (
+		checks = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list   = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: greenlint [-checks name,...] [-list] [packages]\n\n"+
+				"Lints Green API usage. Packages default to ./...; arguments may be\n"+
+				"go-list patterns or plain directories.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var names []string
+	if *checks != "" {
+		for _, n := range strings.Split(*checks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := resolveDirs(args)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, _ := os.Getwd()
+	loader := lint.NewLoader()
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := lint.Lint(pkg, names)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Check, d.Message)
+		}
+		findings += len(diags)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "greenlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "greenlint: %v\n", err)
+	os.Exit(2)
+}
+
+// resolveDirs expands the argument list into package directories: an
+// argument naming an existing directory is used as-is; everything else
+// is treated as a go-list pattern.
+func resolveDirs(args []string) ([]string, error) {
+	var dirs, patterns []string
+	for _, a := range args {
+		if st, err := os.Stat(a); err == nil && st.IsDir() {
+			dirs = append(dirs, a)
+		} else {
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) > 0 {
+		expanded, err := goList(patterns)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, expanded...)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+	}
+	return out, nil
+}
+
+// goList resolves package patterns to directories via the go tool.
+func goList(patterns []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}"}, patterns...)...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	var dirs []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line != "" {
+			dirs = append(dirs, line)
+		}
+	}
+	return dirs, nil
+}

@@ -144,7 +144,9 @@ func main() {
 	}
 	ap.Period = knots[idx] - knots[idx-1]
 	ap.TargetDelta = movements[idx] / trainCameras
-	loop.SetAdaptive(ap)
+	if err := loop.SetAdaptive(ap); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("adaptive parameters for SLA %.1f%%: floor M=%.0f passes, period=%.0f, target delta=%.4f\n",
 		pixelSLA*100, ap.M, ap.Period, ap.TargetDelta)
 

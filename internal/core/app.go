@@ -1,7 +1,7 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -41,7 +41,7 @@ type AppConfig struct {
 	// Name identifies the application.
 	Name string
 	// SLA is the application-level QoS SLA (the paper's additional
-	// application QoS_Compute / QoS SLA pair).
+	// application QoS_Compute / QoS SLA pair); it must lie in (0,1].
 	SLA float64
 	// HighFraction as in DefaultPolicy; zero means 0.9.
 	HighFraction float64
@@ -89,8 +89,8 @@ type App struct {
 
 // NewApp creates a coordinator.
 func NewApp(cfg AppConfig) (*App, error) {
-	if cfg.SLA < 0 {
-		return nil, errors.New("core: negative app SLA")
+	if cfg.SLA <= 0 || cfg.SLA > 1 {
+		return nil, fmt.Errorf("core: app %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
 	}
 	if cfg.BackoffThreshold == 0 {
 		cfg.BackoffThreshold = 3

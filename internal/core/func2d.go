@@ -32,9 +32,11 @@ type Func2Config struct {
 	Name string
 	// Model is the 2-D grid QoS model from the calibration phase.
 	Model *model.FuncModel2D
-	// SLA is the maximal tolerated fractional QoS loss.
+	// SLA is the maximal tolerated fractional QoS loss; it must lie in
+	// (0,1].
 	SLA float64
-	// SampleInterval is Sample_QoS; zero disables recalibration.
+	// SampleInterval is Sample_QoS; zero disables recalibration and
+	// negative values are rejected.
 	SampleInterval int
 	// Policy is the recalibration policy; nil selects DefaultPolicy.
 	Policy RecalibratePolicy
@@ -75,8 +77,11 @@ func NewFunc2(cfg Func2Config, precise Fn2, approx []Fn2) (*Func2, error) {
 		return nil, fmt.Errorf("core: func2 %q: %d versions but model has %d",
 			cfg.Name, len(approx), len(cfg.Model.Versions))
 	}
-	if cfg.SLA < 0 {
-		return nil, errors.New("core: negative SLA")
+	if cfg.SLA <= 0 || cfg.SLA > 1 {
+		return nil, fmt.Errorf("core: func2 %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
+	}
+	if cfg.SampleInterval < 0 {
+		return nil, fmt.Errorf("core: func2 %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
 	}
 	f := &Func2{
 		cfg:      cfg,

@@ -30,9 +30,11 @@ type FuncConfig struct {
 	// Versions order must correspond to the Approx slice passed to
 	// NewFunc (increasing precision).
 	Model *model.FuncModel
-	// SLA is the maximal tolerated fractional QoS loss.
+	// SLA is the maximal tolerated fractional QoS loss; it must lie in
+	// (0,1].
 	SLA float64
-	// SampleInterval is Sample_QoS; zero disables recalibration.
+	// SampleInterval is Sample_QoS; zero disables recalibration and
+	// negative values are rejected.
 	SampleInterval int
 	// Policy is the recalibration policy; nil selects DefaultPolicy.
 	Policy RecalibratePolicy
@@ -101,8 +103,11 @@ func NewFunc(cfg FuncConfig, precise Fn, approx []Fn) (*Func, error) {
 		return nil, fmt.Errorf("core: func %q: %d approximate versions but model has %d curves",
 			cfg.Name, len(approx), len(cfg.Model.Versions))
 	}
-	if cfg.SLA < 0 {
-		return nil, errors.New("core: negative SLA")
+	if cfg.SLA <= 0 || cfg.SLA > 1 {
+		return nil, fmt.Errorf("core: func %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
+	}
+	if cfg.SampleInterval < 0 {
+		return nil, fmt.Errorf("core: func %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
 	}
 	f := &Func{
 		cfg:      cfg,

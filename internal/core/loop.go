@@ -62,13 +62,15 @@ type LoopConfig struct {
 	Name string
 	// Model is the QoS model built in the calibration phase.
 	Model *model.LoopModel
-	// SLA is the maximal tolerated fractional QoS loss.
+	// SLA is the maximal tolerated fractional QoS loss; it must lie in
+	// (0,1].
 	SLA float64
 	// Mode selects static or adaptive approximation.
 	Mode LoopMode
 	// SampleInterval is the paper's Sample_QoS: every SampleInterval-th
 	// execution is monitored (run precisely, loss measured, recalibration
-	// fed). Zero disables runtime recalibration.
+	// fed). Zero disables runtime recalibration; negative values are
+	// rejected.
 	SampleInterval int
 	// Policy is the recalibration policy; nil selects DefaultPolicy.
 	Policy RecalibratePolicy
@@ -122,8 +124,11 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("core: loop requires a model")
 	}
-	if cfg.SLA < 0 {
-		return nil, errors.New("core: negative SLA")
+	if cfg.SLA <= 0 || cfg.SLA > 1 {
+		return nil, fmt.Errorf("core: loop %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
+	}
+	if cfg.SampleInterval < 0 {
+		return nil, fmt.Errorf("core: loop %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
 	}
 	l := &Loop{
 		cfg:      cfg,
@@ -163,6 +168,10 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 			return nil, fmt.Errorf("core: loop %q: %w", cfg.Name, err)
 		}
 		if err == nil {
+			if ap.Period <= 0 || ap.TargetDelta <= 0 {
+				return nil, fmt.Errorf("core: loop %q: adaptive parameters missing Period/TargetDelta (got Period=%v TargetDelta=%v)",
+					cfg.Name, ap.Period, ap.TargetDelta)
+			}
 			l.adaptive = ap
 		}
 	}
@@ -196,11 +205,19 @@ func (l *Loop) Adaptive() model.AdaptiveParams {
 // QoS-improvement measure (DeltaQoS) is on a different scale than the
 // model's loss curve — e.g. Monte-Carlo estimators, where per-period image
 // movement exceeds the distance-to-final improvement — calibrate
-// TargetDelta in their own units and install it here.
-func (l *Loop) SetAdaptive(p model.AdaptiveParams) {
+// TargetDelta in their own units and install it here. Adaptive mode needs
+// both a positive Period and a positive TargetDelta; incomplete
+// parameters are rejected (they would silently disable early
+// termination).
+func (l *Loop) SetAdaptive(p model.AdaptiveParams) error {
+	if p.Period <= 0 || p.TargetDelta <= 0 {
+		return fmt.Errorf("core: loop %q: adaptive parameters need positive Period and TargetDelta (got Period=%v TargetDelta=%v)",
+			l.cfg.Name, p.Period, p.TargetDelta)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.adaptive = p
+	return nil
 }
 
 // Name returns the configured loop name.

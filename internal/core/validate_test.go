@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"green/internal/model"
+)
+
+// These tests pin the runtime half of the contract greenlint checks
+// statically (the slarange analyzer): constructors reject out-of-range
+// configuration instead of silently misbehaving.
+
+func TestNewLoopRejectsBadConfig(t *testing.T) {
+	m := testLoopModel(t)
+	cases := []struct {
+		name string
+		cfg  LoopConfig
+		want string
+	}{
+		{"zero SLA", LoopConfig{Model: m, SLA: 0}, "outside (0,1]"},
+		{"negative SLA", LoopConfig{Model: m, SLA: -0.1}, "outside (0,1]"},
+		{"SLA above one", LoopConfig{Model: m, SLA: 1.5}, "outside (0,1]"},
+		{"negative SampleInterval", LoopConfig{Model: m, SLA: 0.05, SampleInterval: -1}, "negative SampleInterval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewLoop(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("NewLoop(%+v) error = %v, want containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+	if _, err := NewLoop(LoopConfig{Model: m, SLA: 1}); err != nil {
+		t.Fatalf("SLA of exactly 1 must be accepted: %v", err)
+	}
+}
+
+func TestNewFuncRejectsBadConfig(t *testing.T) {
+	fm, err := model.BuildFuncModel("sq", 18, []model.VersionCurve{
+		{Name: "v0", Work: 4, Samples: []model.FuncSample{{X: 0, Loss: 0.1}, {X: 10, Loss: 0.1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise := func(x float64) float64 { return x }
+	approx := make([]Fn, len(fm.Versions))
+	for i := range approx {
+		approx[i] = precise
+	}
+	cases := []struct {
+		name string
+		cfg  FuncConfig
+		want string
+	}{
+		{"zero SLA", FuncConfig{Model: fm, SLA: 0}, "outside (0,1]"},
+		{"SLA above one", FuncConfig{Model: fm, SLA: 2}, "outside (0,1]"},
+		{"negative SampleInterval", FuncConfig{Model: fm, SLA: 0.1, SampleInterval: -5}, "negative SampleInterval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFunc(tc.cfg, precise, approx)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("NewFunc(%+v) error = %v, want containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewAppRejectsBadSLA(t *testing.T) {
+	for _, sla := range []float64{0, -1, 1.01} {
+		if _, err := NewApp(AppConfig{SLA: sla}); err == nil {
+			t.Errorf("NewApp accepted SLA %v", sla)
+		}
+	}
+}
+
+func TestSetAdaptiveRejectsIncompleteParams(t *testing.T) {
+	l, err := NewLoop(LoopConfig{Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Adaptive()
+	cases := []model.AdaptiveParams{
+		{},                               // both missing
+		{M: 10, Period: 5},               // TargetDelta missing
+		{M: 10, TargetDelta: 0.01},       // Period missing
+		{Period: -1, TargetDelta: 0.01},  // negative Period
+		{Period: 5, TargetDelta: -0.001}, // negative TargetDelta
+	}
+	for _, p := range cases {
+		if err := l.SetAdaptive(p); err == nil {
+			t.Errorf("SetAdaptive(%+v) accepted incomplete adaptive parameters", p)
+		}
+	}
+	if got := l.Adaptive(); got != before {
+		t.Errorf("rejected SetAdaptive mutated parameters: %+v", got)
+	}
+	good := model.AdaptiveParams{M: 10, Period: 5, TargetDelta: 0.01}
+	if err := l.SetAdaptive(good); err != nil {
+		t.Fatalf("valid SetAdaptive rejected: %v", err)
+	}
+	if got := l.Adaptive(); got != good {
+		t.Errorf("SetAdaptive not applied: %+v", got)
+	}
+}

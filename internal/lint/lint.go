@@ -1,0 +1,141 @@
+// Package lint implements greenlint: static analysis that enforces the
+// usage contract of the Green approximation API.
+//
+// The paper implements Green as a Phoenix compiler extension, so misuse
+// of the #approx_loop / #approx_func annotations is rejected at build
+// time. This library port has no compiler hook, so the same contract is
+// restored here as a suite of AST/type-based analyzers over the package
+// green and green/internal/core APIs:
+//
+//	beginfinish  — every Loop.Begin execution handle must be Finished
+//	continuecond — exec.Continue(i) must guard the for condition, with a
+//	               non-constant induction argument
+//	slarange     — literal config fields must be in range (SLA in (0,1],
+//	               positive SampleInterval, complete AdaptiveParams)
+//	ctrlcopy     — mutex-bearing controllers must not be copied by value
+//	calorder     — App.Register must precede operational ObserveAppQoS
+//
+// The analyzers are deliberately dependency-free: they run on the
+// standard library's go/parser, go/ast, go/types stack (see Loader), so
+// the suite works in hermetic build environments where module fetching
+// of golang.org/x/tools is unavailable. The check logic is structured
+// analyzer-per-file so a future migration to x/tools/go/analysis (and
+// therefore `go vet -vettool`) is a mechanical wrapping exercise.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Import paths of the packages whose API the analyzers understand. The
+// root package green re-exports the core types as aliases, so resolving
+// through types.Unalias always lands on these.
+const (
+	corePath  = "green/internal/core"
+	modelPath = "green/internal/model"
+)
+
+// Diagnostic is one finding, printable as "file:line: [check] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the diagnostic in the canonical driver output form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	check string
+	diags *[]Diagnostic
+}
+
+// reportf records a diagnostic for the running check at pos.
+func (p *Pass) reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// An Analyzer is one named check.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and -checks selection.
+	Name string
+	// Doc is a one-line description for the driver's -list output.
+	Doc string
+	run  func(*Pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerBeginFinish,
+		analyzerContinueCond,
+		analyzerSLARange,
+		analyzerCtrlCopy,
+		analyzerCalOrder,
+	}
+}
+
+// ByName resolves a check name; nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Lint runs the named checks (all when names is empty) over a loaded
+// package and returns the findings sorted by position.
+func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
+	analyzers := Analyzers()
+	if len(names) > 0 {
+		analyzers = analyzers[:0:0]
+		for _, n := range names {
+			a := ByName(n)
+			if a == nil {
+				return nil, fmt.Errorf("lint: unknown check %q", n)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			check: a.Name,
+			diags: &diags,
+		}
+		a.run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes the source-importer type-checking cost across
+// all fixture tests.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+func testLoader() *Loader {
+	loaderOnce.Do(func() { sharedLoader = NewLoader() })
+	return sharedLoader
+}
+
+// wantRx extracts the quoted substrings of a `// want "..." "..."`
+// expectation comment.
+var wantRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one expected diagnostic: a line plus a message
+// substring.
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+// parseWants scans every fixture file in dir for expectation comments.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRx.FindAllStringSubmatch(comment, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", e.Name(), i+1, comment)
+			}
+			for _, m := range ms {
+				wants = append(wants, &expectation{line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no expectations", dir)
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer against its fixture package and
+// requires an exact match between reported and expected diagnostics.
+func TestFixtures(t *testing.T) {
+	tests := []struct{ check string }{
+		{"beginfinish"},
+		{"continuecond"},
+		{"slarange"},
+		{"ctrlcopy"},
+		{"calorder"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.check, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.check)
+			pkg, err := testLoader().Load(dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags, err := Lint(pkg, []string{tc.check})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(t, dir)
+			for _, d := range diags {
+				if d.Check != tc.check {
+					t.Errorf("diagnostic from unexpected check: %s", d)
+					continue
+				}
+				found := false
+				for _, w := range wants {
+					if !w.matched && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+						w.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing diagnostic at line %d containing %q", w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanPackages dogfoods the full suite over real packages that use
+// the Green API heavily; they must produce no findings.
+func TestCleanPackages(t *testing.T) {
+	for _, dir := range []string{
+		"../../examples/quickstart",
+		"../../examples/renderer",
+		"../serve",
+	} {
+		pkg, err := testLoader().Load(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		diags, err := Lint(pkg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding: %s", dir, d)
+		}
+	}
+}
+
+// TestUnknownCheck exercises the check-selection error path.
+func TestUnknownCheck(t *testing.T) {
+	pkg, err := testLoader().Load(filepath.Join("testdata", "src", "calorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lint(pkg, []string{"nosuchcheck"}); err == nil {
+		t.Fatal("unknown check accepted")
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs well-formed; the driver's
+// -list and -checks flags depend on them.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.run == nil {
+			t.Errorf("incomplete analyzer %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,32 @@
+// Package calorder is a greenlint fixture: units registered with the
+// global coordinator after operational use has begun.
+package calorder
+
+import "green/internal/core"
+
+// late registers a second unit after the App has already been driven
+// with operational QoS observations.
+func late(app *core.App, first, second core.Unit) {
+	app.Register(first)
+	app.ObserveAppQoS(0.01)
+	app.Register(second) // want "before operational use"
+}
+
+// fieldRecv exercises the selector-chain receiver form.
+type service struct {
+	app *core.App
+}
+
+func (s *service) late(u core.Unit) {
+	s.app.ObserveAppQoS(0.02)
+	s.app.Register(u) // want "before operational use"
+}
+
+// ok registers everything up front and must not be reported.
+func ok(app *core.App, units []core.Unit) {
+	for _, u := range units {
+		app.Register(u)
+	}
+	app.ObserveAppQoS(0.01)
+	app.ObserveAppQoS(0.015)
+}

@@ -1,0 +1,54 @@
+// Package continuecond is a greenlint fixture: Continue calls that do
+// not guard the for condition, or that pass a constant iteration.
+package continuecond
+
+import "green/internal/core"
+
+// misplaced calls Continue as a body statement; the boolean result is
+// discarded, so the loop can never terminate early.
+func misplaced(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	for i := 0; i < 100; i++ {
+		exec.Continue(i) // want "for condition"
+	}
+	exec.Finish(100)
+}
+
+// constantArg guards the condition but feeds a constant instead of the
+// induction variable.
+func constantArg(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	i := 0
+	for ; i < 100 && exec.Continue(0); i++ { // want "constant"
+	}
+	exec.Finish(i)
+}
+
+// missing finishes an execution whose Continue never guarded any loop.
+func missing(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q) // want "never guards"
+	if err != nil {
+		return
+	}
+	for i := 0; i < 100; i++ {
+	}
+	exec.Finish(100)
+}
+
+// ok is the canonical guarded loop and must not be reported.
+func ok(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	i := 0
+	for ; i < 100 && exec.Continue(i); i++ {
+	}
+	exec.Finish(i)
+}

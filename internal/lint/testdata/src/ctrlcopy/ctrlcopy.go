@@ -1,0 +1,36 @@
+// Package ctrlcopy is a greenlint fixture: Green controllers copied by
+// value.
+package ctrlcopy
+
+import "green/internal/core"
+
+// byValue receives a Loop by value: the mutex is copied.
+func byValue(l core.Loop) { // want "passes by value"
+	_ = l.Level()
+}
+
+// deref copies the controller out of its pointer.
+func deref(l *core.Loop) {
+	cp := *l // want "copies a Loop"
+	_ = cp.Level()
+}
+
+// argCopy passes a dereferenced controller to a by-value parameter.
+func argCopy(l *core.Loop) {
+	byValue(*l) // want "copies a Loop"
+}
+
+// appField returns an App by value out of a struct.
+type holder struct {
+	app core.App
+}
+
+func appValue(h *holder) core.App { // want "returns by value"
+	return h.app // want "copies a App"
+}
+
+// ok shares controllers through pointers and must not be reported.
+func ok(l *core.Loop, f *core.Func, a *core.App) {
+	a.Register(l)
+	a.Register(f)
+}

@@ -1,0 +1,29 @@
+// Package slarange is a greenlint fixture: out-of-range literal
+// configuration values.
+package slarange
+
+import (
+	"green/internal/core"
+	"green/internal/model"
+)
+
+var (
+	tooBig   = core.LoopConfig{Name: "x", SLA: 1.5}  // want "must lie in"
+	zeroSLA  = core.FuncConfig{Name: "f", SLA: 0}    // want "must lie in"
+	negSLA   = core.AppConfig{Name: "app", SLA: -.1} // want "must lie in"
+	interval = core.LoopConfig{                      //
+		Name:           "y",
+		SLA:            0.05,
+		SampleInterval: -5, // want "positive interval"
+	}
+	explicitZero = core.Func2Config{SLA: 0.1, SampleInterval: 0} // want "positive interval"
+
+	missingBoth = model.AdaptiveParams{M: 10}              // want "missing Period" "missing TargetDelta"
+	negDelta    = model.AdaptiveParams{Period: 8, TargetDelta: -1} // want "TargetDelta is -1"
+
+	// Clean values must not be reported.
+	good   = core.LoopConfig{Name: "ok", SLA: 0.02, SampleInterval: 100}
+	goodAP = model.AdaptiveParams{M: 10, Period: 8, TargetDelta: 0.001}
+	// The zero literal is an error-path return value, not a config.
+	empty = model.AdaptiveParams{}
+)

@@ -11,11 +11,15 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== lint =="
+go run ./cmd/greenlint ./...
+
 echo "== tests =="
 go test ./...
 
 echo "== race (concurrency-sensitive packages) =="
-go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search .
+go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search \
+	./internal/metrics ./internal/taskgraph .
 
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 1x . > /dev/null
