@@ -13,7 +13,9 @@ package green_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"green"
@@ -480,6 +482,160 @@ type benchNoopQoS struct{}
 
 func (benchNoopQoS) Record(int)       {}
 func (benchNoopQoS) Loss(int) float64 { return 0 }
+
+// --- operational hot path ----------------------------------------------
+//
+// The paper's §4.1 claim is that the operational-phase controller costs
+// nothing measurable. These benchmarks measure the controller itself —
+// Begin/Continue/Finish around a trivial body — serially and under
+// concurrent load, the regime internal/serve operates in.
+// scripts/bench_hotpath.sh records them into BENCH_hotpath.json.
+
+// hotLoopBound is the natural iteration bound of the benchmark loop; the
+// model below terminates approximate executions at M=8.
+const hotLoopBound = 16
+
+// hotQoS is a no-op QoS whose loss sits in DefaultPolicy's no-change band
+// for SLA 0.02, so recalibration never moves the level mid-benchmark.
+type hotQoS struct{}
+
+func (hotQoS) Record(int)       {}
+func (hotQoS) Loss(int) float64 { return 0.019 }
+
+func hotLoopFixture(b *testing.B, sampleInterval int) *green.Loop {
+	b.Helper()
+	pts := []green.CalPoint{
+		{Level: 4, QoSLoss: 0.10, Work: 4},
+		{Level: 8, QoSLoss: 0.01, Work: 8},
+	}
+	m, err := green.BuildLoopModel("hot", pts, hotLoopBound, hotLoopBound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop, err := green.NewLoop(green.LoopConfig{
+		Name: "hot", Model: m, SLA: 0.02, SampleInterval: sampleInterval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return loop
+}
+
+// runHotExec is one full execution: Begin, the guarded loop, Finish.
+func runHotExec(loop *green.Loop, qos green.LoopQoS) error {
+	e, err := loop.Begin(qos)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for ; i < hotLoopBound && e.Continue(i); i++ {
+	}
+	e.Finish(i)
+	return nil
+}
+
+func BenchmarkLoopHotPath(b *testing.B) {
+	// steady: monitoring disabled — the pure operational path every
+	// non-monitored execution takes. The acceptance target is 0 allocs/op.
+	b.Run("steady", func(b *testing.B) {
+		loop := hotLoopFixture(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runHotExec(loop, hotQoS{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// monitored1k: a 0.1% monitoring duty cycle mixed in.
+	b.Run("monitored1k", func(b *testing.B) {
+		loop := hotLoopFixture(b, 1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runHotExec(loop, hotQoS{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLoopHotPathParallel hammers one shared Loop from g goroutines,
+// the contention shape of a serving deployment.
+func BenchmarkLoopHotPathParallel(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, g := range counts {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+			loop := hotLoopFixture(b, 1000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			var firstErr atomic.Value
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if err := runHotExec(loop, hotQoS{}); err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err := firstErr.Load(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// combineSearchCandidates builds a units × perUnit candidate grid whose
+// additive losses straddle the SLA, so branch-and-bound has work to do.
+func combineSearchCandidates(units, perUnit int) [][]green.Setting {
+	cands := make([][]green.Setting, units)
+	for u := 0; u < units; u++ {
+		for v := 0; v < perUnit; v++ {
+			cands[u] = append(cands[u], green.Setting{
+				Unit: u, Label: fmt.Sprintf("u%d/v%d", u, v),
+				PredLoss: 0.001 + 0.002*float64(v),
+				Speedup:  1 + 0.5*float64(perUnit-1-v),
+			})
+		}
+	}
+	return cands
+}
+
+// BenchmarkCombineSearchSpace measures the §3.4.1 combination search over
+// a 5-unit, 4-candidate space (1024 combinations exhaustively).
+func BenchmarkCombineSearchSpace(b *testing.B) {
+	cands := combineSearchCandidates(5, 4)
+	const sla = 0.02
+	run := func(opt green.SearchOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			evaluated := 0
+			for i := 0; i < b.N; i++ {
+				res, err := green.CombineSearchOpt(cands, sla, nil, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evaluated = res.Evaluated
+			}
+			b.ReportMetric(float64(evaluated), "combos/op")
+		}
+	}
+	// "additive" is the default entry point: serial before this change,
+	// serial + branch-and-bound now (same winning combination either way).
+	b.Run("additive", run(green.SearchOptions{}))
+	b.Run("exhaustive", run(green.SearchOptions{DisablePruning: true}))
+	b.Run("parallel4", run(green.SearchOptions{Workers: 4}))
+}
 
 // BenchmarkBackoffConvergence measures a full global-recalibration
 // convergence episode on the synthetic interacting units (§3.4.2).

@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (e.g. fig10) or 'all'")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		out   = flag.String("o", "", "also append output to this file")
+		exp     = flag.String("exp", "", "experiment id (e.g. fig10) or 'all'")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		workers = flag.Int("workers", 1, "goroutines for the calibration phases (results identical for any value)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		out     = flag.String("o", "", "also append output to this file")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
 	for _, id := range ids {
 		start := time.Now()
 		t, err := experiments.Run(id, opts)

@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		app   = flag.String("app", "", "application to calibrate (see -list)")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		scale = flag.Float64("scale", 1.0, "workload scale factor")
-		out   = flag.String("o", "", "output file (default stdout)")
-		list  = flag.Bool("list", false, "list calibratable applications")
-		sla   = flag.Float64("sla", 0, "also resolve the model for this QoS SLA (prints the selected parameters to stderr)")
+		app     = flag.String("app", "", "application to calibrate (see -list)")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		workers = flag.Int("workers", 1, "goroutines measuring training inputs concurrently (same model for any value)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		list    = flag.Bool("list", false, "list calibratable applications")
+		sla     = flag.Float64("sla", 0, "also resolve the model for this QoS SLA (prints the selected parameters to stderr)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "greencal: -app required (or -list)")
 		os.Exit(2)
 	}
-	m, err := experiments.Calibrate(*app, experiments.Options{Seed: *seed, Scale: *scale})
+	m, err := experiments.Calibrate(*app, experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "greencal: %v\n", err)
 		os.Exit(1)

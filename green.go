@@ -127,6 +127,8 @@ type (
 	ComboEval = core.ComboEval
 	// SearchResult is the outcome of CombineSearch.
 	SearchResult = core.SearchResult
+	// SearchOptions tunes CombineSearchOpt (worker fan-out, pruning).
+	SearchOptions = core.SearchOptions
 
 	// LoopCalibration collects calibration-phase loop measurements.
 	LoopCalibration = core.LoopCalibration
@@ -262,4 +264,13 @@ func NewCalibration2D(name string, preciseWork float64, names []string, work []f
 // additive independence estimate.
 func CombineSearch(candidates [][]Setting, sla float64, eval ComboEval) (SearchResult, error) {
 	return core.CombineSearch(candidates, sla, eval)
+}
+
+// CombineSearchOpt is CombineSearch with explicit tuning: opt.Workers
+// fans the walk out over the unit-0 candidate axis, and the additive
+// estimate (nil eval) applies branch-and-bound pruning unless disabled.
+// The result — best combination, tie-breaking, evaluation order errors —
+// is identical to the serial walk's.
+func CombineSearchOpt(candidates [][]Setting, sla float64, eval ComboEval, opt SearchOptions) (SearchResult, error) {
+	return core.CombineSearchOpt(candidates, sla, eval, opt)
 }

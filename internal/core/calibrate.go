@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"green/internal/model"
 )
@@ -75,6 +77,62 @@ func (c *LoopCalibration) AddRun(losses, work []float64) error {
 		c.workSums[i] += work[i]
 	}
 	c.runs++
+	return nil
+}
+
+// AddRunsParallel measures and records n training inputs using a pool of
+// workers. fn is called once per input index in [0, n) — concurrently
+// when workers > 1, so it must be safe to run training inputs side by
+// side — and returns the same per-knot loss/work vectors AddRun takes.
+// The measured vectors are accumulated serially in input order after the
+// fan-out, so the built model is bit-identical to a serial fn+AddRun loop
+// regardless of the worker count. The first error in input order is
+// returned; inputs before it remain recorded, exactly as if the serial
+// loop had stopped there.
+func (c *LoopCalibration) AddRunsParallel(workers, n int, fn func(i int) (losses, work []float64, err error)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	type out struct {
+		losses, work []float64
+		err          error
+	}
+	outs := make([]out, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			o := &outs[i]
+			o.losses, o.work, o.err = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					o := &outs[i]
+					o.losses, o.work, o.err = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return fmt.Errorf("core: calibration input %d: %w", i, outs[i].err)
+		}
+		if err := c.AddRun(outs[i].losses, outs[i].work); err != nil {
+			return fmt.Errorf("core: calibration input %d: %w", i, err)
+		}
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"green/internal/model"
 )
@@ -90,17 +91,16 @@ type LoopConfig struct {
 	OnEvent EventFunc
 }
 
-// Loop is an approximable loop: the operational-phase object synthesized
-// from an approx_loop annotation.
-type Loop struct {
-	mu       sync.Mutex
-	cfg      LoopConfig
+// loopState is the immutable snapshot of the loop's mutable approximation
+// state. Begin reads it with a single atomic load; every mutation
+// (recalibration, the Unit methods, SetLevel/SetAdaptive, Restore) copies
+// the current snapshot under l.mu, edits the copy, and publishes it
+// atomically — the same copy-on-write scheme Func uses in funcapprox.go.
+// The operational hot path therefore never takes a lock.
+type loopState struct {
 	level    float64 // current static threshold M
 	adaptive model.AdaptiveParams
-	policy   RecalibratePolicy
-	interval int
-	step     float64
-	minLevel float64
+	interval int64
 	disabled bool
 
 	// forceOff is the sticky disable: set by cfg.Disabled or
@@ -108,11 +108,84 @@ type Loop struct {
 	// disabled flag (unsatisfiable SLA) can instead be cleared by
 	// recalibration pressure.
 	forceOff bool
+}
 
-	count     int64 // executions since creation
-	monitored int64
-	lossSum   float64
-	lastLoss  float64
+// lossStripes sizes the striped loss accumulator: enough cells that
+// concurrent monitored Finishes rarely collide on one CAS, few enough
+// that Stats' read-side sum stays trivial.
+const lossStripes = 8
+
+// paddedFloat is one accumulator cell, padded out to a cache line so
+// adjacent stripes do not false-share.
+type paddedFloat struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// lossAccumulator sums float64 losses with striped lock-free cells, so
+// writers (monitored Finish) and readers (Stats) never block each other
+// or the Begin fast path.
+type lossAccumulator struct {
+	next  atomic.Uint64
+	cells [lossStripes]paddedFloat
+}
+
+func (a *lossAccumulator) add(v float64) {
+	c := &a.cells[a.next.Add(1)%lossStripes]
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *lossAccumulator) sum() float64 {
+	s := 0.0
+	for i := range a.cells {
+		s += math.Float64frombits(a.cells[i].bits.Load())
+	}
+	return s
+}
+
+// set overwrites the accumulated total (checkpoint restore).
+func (a *lossAccumulator) set(v float64) {
+	a.cells[0].bits.Store(math.Float64bits(v))
+	for i := 1; i < lossStripes; i++ {
+		a.cells[i].bits.Store(0)
+	}
+}
+
+// Loop is an approximable loop: the operational-phase object synthesized
+// from an approx_loop annotation. It is safe for concurrent use; the
+// Begin/Continue/Finish path of a non-monitored execution is lock-free
+// and allocation-free.
+type Loop struct {
+	cfg      LoopConfig
+	step     float64
+	minLevel float64
+
+	state atomic.Pointer[loopState]
+
+	count     atomic.Int64 // executions since creation
+	monitored atomic.Int64
+	loss      lossAccumulator
+
+	mu     sync.Mutex // serializes snapshot rebuilds and the policy
+	policy RecalibratePolicy
+}
+
+// normalizeAdaptive rounds a positive fractional Period to a whole number
+// of iterations (minimum 1). approxSaysStop samples improvement every
+// int(Period) iterations; a Period in (0,1) passes a `Period <= 0` guard
+// yet truncates to zero and would panic on the modulo, so fractional
+// model output is rounded here, at every boundary where adaptive
+// parameters enter the controller.
+func normalizeAdaptive(p model.AdaptiveParams) model.AdaptiveParams {
+	if p.Period > 0 {
+		p.Period = math.Max(1, math.Round(p.Period))
+	}
+	return p
 }
 
 // NewLoop creates the loop controller, deriving the initial approximation
@@ -133,9 +206,11 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	l := &Loop{
 		cfg:      cfg,
 		policy:   cfg.Policy,
-		interval: cfg.SampleInterval,
 		step:     cfg.Step,
 		minLevel: cfg.MinLevel,
+	}
+	st := loopState{
+		interval: int64(cfg.SampleInterval),
 		forceOff: cfg.Disabled,
 	}
 	if l.policy == nil {
@@ -155,10 +230,10 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	m, err := cfg.Model.StaticParams(cfg.SLA)
 	switch {
 	case err == nil:
-		l.level = m
+		st.level = m
 	case errors.Is(err, model.ErrUnsatisfiable):
-		l.level = cfg.Model.BaseLevel
-		l.disabled = true
+		st.level = cfg.Model.BaseLevel
+		st.disabled = true
 	default:
 		return nil, fmt.Errorf("core: loop %q: %w", cfg.Name, err)
 	}
@@ -172,33 +247,37 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 				return nil, fmt.Errorf("core: loop %q: adaptive parameters missing Period/TargetDelta (got Period=%v TargetDelta=%v)",
 					cfg.Name, ap.Period, ap.TargetDelta)
 			}
-			l.adaptive = ap
+			st.adaptive = normalizeAdaptive(ap)
 		}
 	}
+	l.state.Store(&st)
 	return l, nil
+}
+
+// mutate rebuilds the published snapshot under the lock (copy-on-write).
+func (l *Loop) mutate(fn func(*loopState)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next := *l.state.Load()
+	fn(&next)
+	l.state.Store(&next)
 }
 
 // SetLevel overrides the current static threshold M. Used by experiments
 // that simulate an imperfect QoS model (paper Figure 14) and by the fixed
 // M-*N versions of the evaluation.
 func (l *Loop) SetLevel(m float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.level = m
+	l.mutate(func(st *loopState) { st.level = m })
 }
 
 // Level returns the current static threshold M.
 func (l *Loop) Level() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.level
+	return l.state.Load().level
 }
 
 // Adaptive returns the current adaptive parameters.
 func (l *Loop) Adaptive() model.AdaptiveParams {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.adaptive
+	return l.state.Load().adaptive
 }
 
 // SetAdaptive overrides the adaptive parameters. Programs whose runtime
@@ -208,15 +287,15 @@ func (l *Loop) Adaptive() model.AdaptiveParams {
 // TargetDelta in their own units and install it here. Adaptive mode needs
 // both a positive Period and a positive TargetDelta; incomplete
 // parameters are rejected (they would silently disable early
-// termination).
+// termination). A fractional Period is rounded to a whole number of
+// iterations (minimum 1).
 func (l *Loop) SetAdaptive(p model.AdaptiveParams) error {
 	if p.Period <= 0 || p.TargetDelta <= 0 {
 		return fmt.Errorf("core: loop %q: adaptive parameters need positive Period and TargetDelta (got Period=%v TargetDelta=%v)",
 			l.cfg.Name, p.Period, p.TargetDelta)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.adaptive = p
+	p = normalizeAdaptive(p)
+	l.mutate(func(st *loopState) { st.adaptive = p })
 	return nil
 }
 
@@ -224,18 +303,22 @@ func (l *Loop) SetAdaptive(p model.AdaptiveParams) error {
 func (l *Loop) Name() string { return l.cfg.Name }
 
 // Stats reports runtime counters: executions, monitored executions, and
-// the mean observed loss over monitored executions.
+// the mean observed loss over monitored executions. It reads only atomic
+// counters, so it never blocks — or is blocked by — executions in flight.
 func (l *Loop) Stats() (executions, monitored int64, meanLoss float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.monitored > 0 {
-		meanLoss = l.lossSum / float64(l.monitored)
+	executions = l.count.Load()
+	monitored = l.monitored.Load()
+	if monitored > 0 {
+		meanLoss = l.loss.sum() / float64(monitored)
 	}
-	return l.count, l.monitored, meanLoss
+	return executions, monitored, meanLoss
 }
 
 // LoopExec is the per-execution state of one run of the approximated
-// loop: the code Figure 3 inlines around the loop body.
+// loop: the code Figure 3 inlines around the loop body. Handles are
+// pooled: Begin draws one, Finish recycles it, so a handle must not be
+// retained or used after Finish (greenlint's beginfinish check enforces
+// the pairing; DESIGN.md §8 documents the contract).
 type LoopExec struct {
 	loop       *Loop
 	qos        LoopQoS
@@ -250,34 +333,40 @@ type LoopExec struct {
 	terminated bool // loop actually terminated early
 }
 
+// execPool recycles LoopExec objects so steady-state executions are
+// allocation-free.
+var execPool = sync.Pool{New: func() any { return new(LoopExec) }}
+
 // Begin starts one execution of the loop. qos supplies the programmer's
 // QoS_Compute; in Adaptive mode it must also implement DeltaQoS, or Begin
-// returns an error.
+// returns an error. Begin performs no locking and, in steady state, no
+// allocation: it loads the current approximation snapshot atomically and
+// draws the execution handle from a pool.
 func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
 	if qos == nil {
 		return nil, errors.New("core: nil LoopQoS")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.count++
-	e := &LoopExec{
-		loop:      l,
-		qos:       qos,
-		level:     l.level,
-		adaptive:  l.adaptive,
-		mode:      l.cfg.Mode,
-		disabled:  l.disabled || l.forceOff,
-		wouldStop: -1,
-	}
+	var delta DeltaQoS
 	if l.cfg.Mode == Adaptive {
 		d, ok := qos.(DeltaQoS)
 		if !ok {
 			return nil, errors.New("core: adaptive mode requires DeltaQoS")
 		}
-		e.delta = d
+		delta = d
 	}
-	if l.interval > 0 && l.count%int64(l.interval) == 0 {
-		e.monitor = true
+	st := l.state.Load()
+	n := l.count.Add(1)
+	e := execPool.Get().(*LoopExec)
+	*e = LoopExec{
+		loop:      l,
+		qos:       qos,
+		delta:     delta,
+		monitor:   st.interval > 0 && n%st.interval == 0,
+		level:     st.level,
+		adaptive:  st.adaptive,
+		mode:      l.cfg.Mode,
+		disabled:  st.disabled || st.forceOff,
+		wouldStop: -1,
 	}
 	return e, nil
 }
@@ -292,7 +381,7 @@ func (e *LoopExec) approxSaysStop(i int) bool {
 	case Static:
 		return float64(i) >= e.level
 	default: // Adaptive
-		if e.adaptive.Period <= 0 {
+		if e.adaptive.Period < 1 {
 			return false // no viable adaptive parameters: run precisely
 		}
 		if float64(i) < e.adaptive.M {
@@ -314,22 +403,29 @@ func (e *LoopExec) approxSaysStop(i int) bool {
 // approximation would have stopped — exactly the paper's "store the QoS
 // value and do not terminate the loop early" path.
 func (e *LoopExec) Continue(i int) bool {
-	if !e.approxSaysStop(i) {
-		return true
-	}
 	if e.monitor {
-		if !e.recorded {
+		// Once the record point is captured there is nothing left to
+		// decide — the loop runs to its natural end regardless — so the
+		// remaining iterations skip the threshold/Delta computation.
+		if e.recorded {
+			return true
+		}
+		if e.approxSaysStop(i) {
 			e.qos.Record(i)
 			e.recorded = true
 			e.wouldStop = i
 		}
 		return true
 	}
-	if !e.terminated {
+	if e.terminated {
+		return false
+	}
+	if e.approxSaysStop(i) {
 		e.terminated = true
 		e.wouldStop = i
+		return false
 	}
-	return false
+	return true
 }
 
 // Result summarizes one finished execution.
@@ -352,14 +448,22 @@ type Result struct {
 // loop actually reached (its natural bound for monitored or non-triggered
 // runs). For monitored executions it computes the QoS loss of the
 // approximation via LoopQoS.Loss, feeds the recalibration policy, and
-// applies its decision.
+// applies its decision. Finish recycles the execution handle; the handle
+// must not be used again afterwards.
 func (e *LoopExec) Finish(finalIter int) Result {
+	l := e.loop
+	if l == nil {
+		// Finish on an already-recycled handle: report an empty result
+		// rather than corrupting the pool with a double Put.
+		return Result{StoppedAt: -1}
+	}
 	res := Result{
 		Approximated: e.terminated,
 		Monitored:    e.monitor,
 		StoppedAt:    e.wouldStop,
 	}
 	if !e.monitor {
+		e.release()
 		return res
 	}
 	loss := 0.0
@@ -367,21 +471,23 @@ func (e *LoopExec) Finish(finalIter int) Result {
 		loss = e.qos.Loss(finalIter)
 	}
 	res.Loss = loss
+	e.release()
 
-	l := e.loop
+	l.monitored.Add(1)
+	l.loss.add(loss)
+
 	l.mu.Lock()
-	l.monitored++
-	l.lossSum += loss
-	l.lastLoss = loss
 	d := l.policy.Observe(loss, l.cfg.SLA)
+	next := *l.state.Load()
 	if d.NewSampleInterval > 0 {
-		l.interval = d.NewSampleInterval
+		next.interval = int64(d.NewSampleInterval)
 	}
-	res.Recalibrated = d.Action
-	l.applyLocked(d.Action)
-	level := l.level
+	l.applyAction(&next, d.Action)
+	l.state.Store(&next)
+	level := next.level
 	l.mu.Unlock()
 
+	res.Recalibrated = d.Action
 	if l.cfg.OnEvent != nil {
 		l.cfg.OnEvent(Event{
 			Unit: l.cfg.Name, Loss: loss, SLA: l.cfg.SLA,
@@ -391,25 +497,32 @@ func (e *LoopExec) Finish(finalIter int) Result {
 	return res
 }
 
-// applyLocked adjusts the approximation level for a recalibration action.
-// Static mode moves the threshold M by one step (as in Figure 14, where M
-// grows by 0.1N per adjustment); adaptive mode halves or doubles
-// TargetDelta (requiring more or less improvement to continue).
-// The caller must hold l.mu.
-func (l *Loop) applyLocked(a Action) {
+// release zeroes the handle (dropping its qos and loop references) and
+// returns it to the pool.
+func (e *LoopExec) release() {
+	*e = LoopExec{}
+	execPool.Put(e)
+}
+
+// applyAction adjusts the snapshot's approximation level for a
+// recalibration action. Static mode moves the threshold M by one step (as
+// in Figure 14, where M grows by 0.1N per adjustment); adaptive mode
+// halves or doubles TargetDelta (requiring more or less improvement to
+// continue).
+func (l *Loop) applyAction(st *loopState, a Action) {
 	switch a {
 	case ActIncrease:
-		if l.cfg.Mode == Adaptive && l.adaptive.Period > 0 {
-			l.adaptive.TargetDelta /= 2
+		if l.cfg.Mode == Adaptive && st.adaptive.Period > 0 {
+			st.adaptive.TargetDelta /= 2
 		}
-		l.level = math.Min(l.level+l.step, l.cfg.Model.BaseLevel)
-		l.disabled = false
+		st.level = math.Min(st.level+l.step, l.cfg.Model.BaseLevel)
+		st.disabled = false
 	case ActDecrease:
-		if l.cfg.Mode == Adaptive && l.adaptive.Period > 0 {
-			l.adaptive.TargetDelta *= 2
+		if l.cfg.Mode == Adaptive && st.adaptive.Period > 0 {
+			st.adaptive.TargetDelta *= 2
 		}
-		l.level = math.Max(l.level-l.step, l.minLevel)
-		l.disabled = false
+		st.level = math.Max(st.level-l.step, l.minLevel)
+		st.disabled = false
 	}
 }
 
@@ -417,20 +530,24 @@ func (l *Loop) applyLocked(a Action) {
 
 // IncreaseAccuracy implements Unit.
 func (l *Loop) IncreaseAccuracy() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	before := l.level
-	l.applyLocked(ActIncrease)
-	return l.level != before
+	changed := false
+	l.mutate(func(st *loopState) {
+		before := st.level
+		l.applyAction(st, ActIncrease)
+		changed = st.level != before
+	})
+	return changed
 }
 
 // DecreaseAccuracy implements Unit.
 func (l *Loop) DecreaseAccuracy() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	before := l.level
-	l.applyLocked(ActDecrease)
-	return l.level != before
+	changed := false
+	l.mutate(func(st *loopState) {
+		before := st.level
+		l.applyAction(st, ActDecrease)
+		changed = st.level != before
+	})
+	return changed
 }
 
 // Sensitivity implements Unit: the modeled QoS-loss change per unit of
@@ -438,14 +555,12 @@ func (l *Loop) DecreaseAccuracy() bool {
 // increases accuracy first where a large QoS gain costs little
 // performance, i.e. where Sensitivity is large.
 func (l *Loop) Sensitivity() float64 {
-	l.mu.Lock()
-	level, step := l.level, l.step
+	level := l.state.Load().level
 	m := l.cfg.Model
-	l.mu.Unlock()
 	lossNow := m.PredictLoss(level)
-	lossUp := m.PredictLoss(level + step)
+	lossUp := m.PredictLoss(level + l.step)
 	workNow := m.PredictWork(level)
-	workUp := m.PredictWork(level + step)
+	workUp := m.PredictWork(level + l.step)
 	dWork := (workUp - workNow) / m.BaseWork
 	if dWork <= 0 {
 		return 0
@@ -457,22 +572,19 @@ func (l *Loop) Sensitivity() float64 {
 // is sticky — recalibration pressure does not re-enable it; only
 // EnableApprox does.
 func (l *Loop) DisableApprox() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.forceOff = true
+	l.mutate(func(st *loopState) { st.forceOff = true })
 }
 
 // EnableApprox re-enables approximation after DisableApprox.
 func (l *Loop) EnableApprox() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.forceOff = false
-	l.disabled = false
+	l.mutate(func(st *loopState) {
+		st.forceOff = false
+		st.disabled = false
+	})
 }
 
 // ApproxEnabled implements Unit.
 func (l *Loop) ApproxEnabled() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return !l.disabled && !l.forceOff
+	st := l.state.Load()
+	return !st.disabled && !st.forceOff
 }

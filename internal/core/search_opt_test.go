@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomCandidates builds a reproducible random search space: units x per
+// candidate settings with losses around the interesting region of sla.
+func randomCandidates(rng *rand.Rand, units, per int, sla float64) [][]Setting {
+	cands := make([][]Setting, units)
+	for u := range cands {
+		cands[u] = make([]Setting, per)
+		for v := range cands[u] {
+			cands[u][v] = Setting{
+				Unit:     u,
+				Label:    fmt.Sprintf("u%dv%d", u, v),
+				PredLoss: rng.Float64() * 2 * sla / float64(units),
+				Speedup:  1 + rng.Float64()*3,
+			}
+			if rng.Intn(4) == 0 {
+				cands[u][v].WorkShare = rng.Float64()
+			}
+		}
+	}
+	return cands
+}
+
+// The parallel fan-out and the branch-and-bound cut must both be
+// invisible: identical Best/Loss/Speedup (and, without pruning, identical
+// Evaluated) to the plain serial walk, across randomized spaces.
+func TestCombineSearchOptMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	evalMeasured := func(combo []Setting) (float64, float64, error) {
+		loss, speed := 0.0, 0.0
+		for _, s := range combo {
+			loss += s.PredLoss
+			speed += 1 / s.Speedup
+		}
+		return loss, float64(len(combo)) / speed, nil
+	}
+	for trial := 0; trial < 30; trial++ {
+		units := 2 + rng.Intn(4)
+		per := 1 + rng.Intn(5)
+		sla := 0.01 + rng.Float64()*0.03
+		cands := randomCandidates(rng, units, per, sla)
+
+		serial, serialErr := CombineSearchOpt(cands, sla, nil, SearchOptions{DisablePruning: true})
+		for _, opt := range []SearchOptions{
+			{},                                 // serial + pruning
+			{Workers: 2},                       // parallel + pruning
+			{Workers: 8, DisablePruning: true}, // parallel, exhaustive
+			{Workers: per + 3},                 // more workers than branches
+		} {
+			got, err := CombineSearchOpt(cands, sla, nil, opt)
+			if !errors.Is(err, serialErr) && err != serialErr {
+				t.Fatalf("trial %d opt %+v: err = %v, serial err = %v", trial, opt, err, serialErr)
+			}
+			if !reflect.DeepEqual(got.Best, serial.Best) ||
+				got.Loss != serial.Loss || got.Speedup != serial.Speedup {
+				t.Fatalf("trial %d opt %+v: result %+v != serial %+v", trial, opt, got, serial)
+			}
+			if opt.DisablePruning && got.Evaluated != serial.Evaluated {
+				t.Fatalf("trial %d opt %+v: evaluated %d != serial %d",
+					trial, opt, got.Evaluated, serial.Evaluated)
+			}
+			if got.Evaluated > serial.Evaluated {
+				t.Fatalf("trial %d opt %+v: pruned walk evaluated MORE (%d > %d)",
+					trial, opt, got.Evaluated, serial.Evaluated)
+			}
+		}
+		// A measuring evaluator disables pruning but still parallelizes.
+		ms, msErr := CombineSearch(cands, sla, evalMeasured)
+		mp, mpErr := CombineSearchOpt(cands, sla, evalMeasured, SearchOptions{Workers: 4})
+		if (msErr == nil) != (mpErr == nil) || !reflect.DeepEqual(ms, mp) {
+			t.Fatalf("trial %d measured: parallel %+v (%v) != serial %+v (%v)",
+				trial, mp, mpErr, ms, msErr)
+		}
+	}
+}
+
+func TestCombineSearchPruningReducesEvaluated(t *testing.T) {
+	// Unit 0 has one viable and three hopeless settings: pruning should
+	// cut three of the four top-level branches without descending.
+	hopeless := func(u, v int) Setting {
+		return Setting{Unit: u, Label: fmt.Sprintf("bad%d_%d", u, v), PredLoss: 0.9, Speedup: 5}
+	}
+	cands := [][]Setting{
+		{{Unit: 0, Label: "ok", PredLoss: 0.001, Speedup: 2},
+			hopeless(0, 1), hopeless(0, 2), hopeless(0, 3)},
+		{{Unit: 1, Label: "a", PredLoss: 0.002, Speedup: 1.5},
+			{Unit: 1, Label: "b", PredLoss: 0.004, Speedup: 1.8}},
+		{{Unit: 2, Label: "c", PredLoss: 0.001, Speedup: 1.2},
+			{Unit: 2, Label: "d", PredLoss: 0.003, Speedup: 1.4}},
+	}
+	const sla = 0.02
+	exhaustive, err := CombineSearchOpt(cands, sla, nil, SearchOptions{DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive.Evaluated != 16 {
+		t.Fatalf("exhaustive evaluated %d, want 16", exhaustive.Evaluated)
+	}
+	pruned, err := CombineSearch(cands, sla, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Evaluated != 4 {
+		t.Errorf("pruned walk evaluated %d combos, want 4 (one viable unit-0 branch)", pruned.Evaluated)
+	}
+	if !reflect.DeepEqual(pruned.Best, exhaustive.Best) ||
+		pruned.Loss != exhaustive.Loss || pruned.Speedup != exhaustive.Speedup {
+		t.Errorf("pruned result %+v differs from exhaustive %+v", pruned, exhaustive)
+	}
+}
+
+// The serial walk surfaces the first evaluator error in lexicographic
+// order; the parallel merge must surface the same one.
+func TestCombineSearchParallelErrorDeterministic(t *testing.T) {
+	errB := errors.New("branch b failed")
+	errC := errors.New("branch c failed")
+	cands := [][]Setting{
+		{{Unit: 0, Label: "a"}, {Unit: 0, Label: "b"}, {Unit: 0, Label: "c"}},
+		{{Unit: 1, Label: "x"}, {Unit: 1, Label: "y"}},
+	}
+	eval := func(combo []Setting) (float64, float64, error) {
+		switch combo[0].Label {
+		case "b":
+			return 0, 0, errB
+		case "c":
+			return 0, 0, errC
+		}
+		return 0.001, 2, nil
+	}
+	for _, workers := range []int{0, 2, 3} {
+		_, err := CombineSearchOpt(cands, 0.01, eval, SearchOptions{Workers: workers})
+		if err != errB {
+			t.Errorf("workers=%d: err = %v, want errB (first in walk order)", workers, err)
+		}
+	}
+}

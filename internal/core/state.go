@@ -28,21 +28,24 @@ type LoopState struct {
 	AdaptiveDelta float64 `json:"adaptive_delta"`
 }
 
-// State snapshots the loop's runtime state.
+// State snapshots the loop's runtime state. The lock only fences out
+// concurrent recalibration so the snapshot/counter pair is coherent; the
+// hot path itself never takes it.
 func (l *Loop) State() LoopState {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	st := l.state.Load()
 	return LoopState{
 		Name:      l.cfg.Name,
-		Level:     l.level,
-		Interval:  l.interval,
-		Disabled:  l.disabled,
-		ForceOff:  l.forceOff,
-		Count:     l.count,
-		Monitored: l.monitored,
-		LossSum:   l.lossSum,
-		AdaptiveM: l.adaptive.M, AdaptivePer: l.adaptive.Period,
-		AdaptiveDelta: l.adaptive.TargetDelta,
+		Level:     st.level,
+		Interval:  int(st.interval),
+		Disabled:  st.disabled,
+		ForceOff:  st.forceOff,
+		Count:     l.count.Load(),
+		Monitored: l.monitored.Load(),
+		LossSum:   l.loss.sum(),
+		AdaptiveM: st.adaptive.M, AdaptivePer: st.adaptive.Period,
+		AdaptiveDelta: st.adaptive.TargetDelta,
 	}
 }
 
@@ -57,16 +60,22 @@ func (l *Loop) Restore(s LoopState) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.level = s.Level
-	l.interval = s.Interval
-	l.disabled = s.Disabled
-	l.forceOff = s.ForceOff
-	l.count = s.Count
-	l.monitored = s.Monitored
-	l.lossSum = s.LossSum
-	l.adaptive.M = s.AdaptiveM
-	l.adaptive.Period = s.AdaptivePer
-	l.adaptive.TargetDelta = s.AdaptiveDelta
+	next := *l.state.Load()
+	next.level = s.Level
+	next.interval = int64(s.Interval)
+	next.disabled = s.Disabled
+	next.forceOff = s.ForceOff
+	next.adaptive.M = s.AdaptiveM
+	next.adaptive.Period = s.AdaptivePer
+	next.adaptive.TargetDelta = s.AdaptiveDelta
+	// Old checkpoints may carry a fractional model-derived Period; round
+	// it just like NewLoop/SetAdaptive do so approxSaysStop never sees a
+	// Period that truncates to zero.
+	next.adaptive = normalizeAdaptive(next.adaptive)
+	l.state.Store(&next)
+	l.count.Store(s.Count)
+	l.monitored.Store(s.Monitored)
+	l.loss.set(s.LossSum)
 	return nil
 }
 

@@ -25,6 +25,11 @@ type Options struct {
 	// 1.0 is the full configuration used for EXPERIMENTS.md; tests use
 	// small scales. Zero selects 1.0.
 	Scale float64
+	// Workers bounds the goroutines used for the calibration phase's
+	// training inputs (each input is measured independently; results are
+	// merged in input order, so the built model is identical for any
+	// value). Zero or one keeps calibration serial.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

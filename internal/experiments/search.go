@@ -31,6 +31,8 @@ type searchFixture struct {
 	refN int
 	topN int
 	cost *energy.CostModel
+	// workers parallelizes the calibration phase's training queries.
+	workers int
 }
 
 const searchTopN = 10
@@ -51,7 +53,10 @@ func newSearchFixture(o Options) (*searchFixture, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &searchFixture{engine: eng, calQueries: cal, tstQueries: tst, topN: searchTopN}
+	f := &searchFixture{
+		engine: eng, calQueries: cal, tstQueries: tst,
+		topN: searchTopN, workers: o.Workers,
+	}
 
 	// Derive the reference budget N from the calibration workload: a
 	// third of the mean matching-document count, so that M-N removes a
@@ -177,18 +182,23 @@ func (f *searchFixture) buildLoopModel(queries []search.Query) (*model.LoopModel
 	if err != nil {
 		return nil, err
 	}
-	losses := make([]float64, len(knots))
-	works := make([]float64, len(knots))
-	for _, q := range queries {
+	// Training queries hit the engine's immutable index only, so they can
+	// be measured concurrently; AddRunsParallel merges in query order, so
+	// the model is identical for any worker count.
+	err = cal.AddRunsParallel(f.workers, len(queries), func(i int) ([]float64, []float64, error) {
+		q := queries[i]
 		precise, _ := f.engine.Search(q, f.topN, 0)
-		for i, k := range knots {
+		losses := make([]float64, len(knots))
+		works := make([]float64, len(knots))
+		for j, k := range knots {
 			approx, processed := f.engine.Search(q, f.topN, int(k))
-			losses[i] = metrics.QueryLoss(precise, approx)
-			works[i] = float64(processed)
+			losses[j] = metrics.QueryLoss(precise, approx)
+			works[j] = float64(processed)
 		}
-		if err := cal.AddRun(losses, works); err != nil {
-			return nil, err
-		}
+		return losses, works, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cal.Build()
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -244,6 +246,39 @@ func TestTableString(t *testing.T) {
 	for _, want := range []string{"demo", "a", "1", "hello 7"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The calibration phase's worker fan-out must not change the built model:
+// AddRunsParallel merges measurements in input order, so any worker count
+// yields the bit-identical model.
+func TestCalibrationWorkersProduceIdenticalModel(t *testing.T) {
+	f, err := newSearchFixture(Options{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := f.calQueries[:120]
+	serial, err := f.buildLoopModel(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		f.workers = workers
+		m, err := f.buildLoopModel(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d model differs from serial:\n got %s\nwant %s", workers, got, want)
 		}
 	}
 }

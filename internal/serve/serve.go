@@ -21,6 +21,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"green/internal/core"
@@ -217,9 +218,11 @@ func (s *Server) Handler() http.Handler {
 
 // serveQuery runs one query under the loop controller.
 func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
-	qos := &serveQoS{engine: s.engine, query: q, topN: s.cfg.TopN}
+	qos := serveQoSPool.Get().(*serveQoS)
+	qos.engine, qos.query, qos.topN = s.engine, q, s.cfg.TopN
 	exec, err := s.loop.Begin(qos)
 	if err != nil {
+		qos.release()
 		return nil, err
 	}
 	scan := s.engine.NewScan(q, s.cfg.TopN)
@@ -227,7 +230,10 @@ func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
 	for exec.Continue(i) && scan.Step() {
 		i++
 	}
+	// Finish is the controller's last use of qos (Loss runs inside it),
+	// so the adapter can be recycled right after.
 	res := exec.Finish(i)
+	qos.release()
 	s.queries.Add(1)
 	s.docsScored.Add(int64(scan.Processed()))
 	if res.Monitored {
@@ -321,12 +327,20 @@ func (s *Server) Loop() *core.Loop { return s.loop }
 // Engine exposes the search engine, for tests.
 func (s *Server) Engine() *search.Engine { return s.engine }
 
-// serveQoS adapts a served query to core.LoopQoS.
+// serveQoS adapts a served query to core.LoopQoS. Adapters are pooled so
+// the per-query fast path allocates nothing beyond the scan itself.
 type serveQoS struct {
 	engine   *search.Engine
 	query    search.Query
 	topN     int
 	recorded []int
+}
+
+var serveQoSPool = sync.Pool{New: func() any { return new(serveQoS) }}
+
+func (q *serveQoS) release() {
+	*q = serveQoS{}
+	serveQoSPool.Put(q)
 }
 
 func (q *serveQoS) Record(iter int) {

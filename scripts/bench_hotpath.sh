@@ -1,0 +1,69 @@
+#!/bin/sh
+# Records the operational-hot-path perf trajectory: runs the
+# BenchmarkLoopHotPath* / BenchmarkCombineSearchSpace families and emits
+# one JSON object (ns/op, allocs/op, and the combination search's
+# evaluated-combos count) suitable for a "before"/"after" entry in
+# BENCH_hotpath.json.
+#
+# Usage:
+#
+#	scripts/bench_hotpath.sh                 # JSON to stdout, 1s/bench
+#	scripts/bench_hotpath.sh -o after.json   # write to a file
+#	scripts/bench_hotpath.sh -t 0.2s         # shorter benchtime
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=""
+benchtime="1s"
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-o) out="$2"; shift 2 ;;
+	-t) benchtime="$2"; shift 2 ;;
+	*) echo "usage: $0 [-o file] [-t benchtime]" >&2; exit 2 ;;
+	esac
+done
+
+raw=$(go test -run xxx -bench 'LoopHotPath|CombineSearchSpace' \
+	-benchmem -benchtime "$benchtime" -count 1 .)
+
+json=$(printf '%s\n' "$raw" | awk '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0; next }
+/^goos:/ { goos = $2; next }
+/^goarch:/ { goarch = $2; next }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	ns = ""; allocs = ""; combos = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+		if ($i == "combos/op") combos = $(i - 1)
+	}
+	if (ns == "") next
+	entry = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+	if (combos != "") entry = entry sprintf(", \"evaluated_combos\": %s", combos)
+	entry = entry "}"
+	entries[n++] = entry
+}
+END {
+	printf "{\n"
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchtime\": \"'"$benchtime"'\",\n"
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++)
+		printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}')
+
+if [ -n "$out" ]; then
+	printf '%s\n' "$json" > "$out"
+	echo "bench_hotpath: wrote $out" >&2
+else
+	printf '%s\n' "$json"
+fi

@@ -22,6 +22,6 @@ go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/sea
 	./internal/metrics ./internal/taskgraph .
 
 echo "== benchmarks (smoke) =="
-go test -run xxx -bench . -benchtime 1x . > /dev/null
+go test -run xxx -bench . -benchtime 1x ./... > /dev/null
 
 echo "all checks passed"
