@@ -1,6 +1,8 @@
 package cmdtest
 
 import (
+	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -121,4 +123,94 @@ func TestGreenlintUnknownCheckExitsTwo(t *testing.T) {
 	if code != 2 {
 		t.Fatalf("greenlint -checks nosuch exited %d, want 2:\n%s", code, out)
 	}
+	if !strings.Contains(out, "valid:") || !strings.Contains(out, "finishpath") {
+		t.Errorf("unknown-check error does not list the valid names:\n%s", out)
+	}
+}
+
+func TestGreenlintUnknownFormatExitsTwo(t *testing.T) {
+	out, code := run(t, "greenlint", "-format", "xml", "internal/lint/testdata/src/ctrlcopy")
+	if code != 2 {
+		t.Fatalf("greenlint -format xml exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "text, json, sarif") {
+		t.Errorf("unknown-format error does not list the valid formats:\n%s", out)
+	}
+}
+
+// TestGreenlintSARIF checks the sarif writer end to end: the document on
+// stdout must parse as SARIF 2.1.0 with greenlint as the driver and at
+// least one result (the fixture is full of violations).
+func TestGreenlintSARIF(t *testing.T) {
+	stdout, _, code := runSplit(t, "greenlint", "-format", "sarif", "internal/lint/testdata/src/ctrlcopy")
+	if code != 1 {
+		t.Fatalf("greenlint -format sarif on a broken fixture exited %d, want 1", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "greenlint" {
+		t.Errorf("sarif run/driver malformed: %+v", doc.Runs)
+	}
+	if len(doc.Runs[0].Results) == 0 {
+		t.Error("sarif output has no results for a fixture full of violations")
+	}
+	if len(doc.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Error("sarif driver lists no rules")
+	}
+}
+
+// TestGreenlintSuppressedClean runs the full-module self-lint: the tree
+// must be clean apart from in-source justified suppressions, which keep
+// the exit status at 0.
+func TestGreenlintSelfRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint is slow")
+	}
+	out, code := run(t, "greenlint", "./...")
+	if code != 0 {
+		t.Fatalf("greenlint ./... exited %d — the tree must lint clean:\n%s", code, out)
+	}
+}
+
+// runSplit is run with stdout and stderr separated (JSON/SARIF parsing
+// needs a clean stdout; the findings summary goes to stderr).
+func runSplit(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	abs, err := filepath.Abs(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binaries(t), bin), args...)
+	cmd.Dir = abs
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	code := 0
+	if runErr != nil {
+		ee, ok := runErr.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, runErr)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
 }

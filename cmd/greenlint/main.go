@@ -7,13 +7,23 @@
 //	greenlint ./...                      # lint the whole module
 //	greenlint ./examples/quickstart      # lint one directory
 //	greenlint -checks slarange,ctrlcopy ./...
+//	greenlint -format sarif ./... > greenlint.sarif
 //	greenlint -list                      # list available checks
 //
 // Arguments are package patterns (resolved through `go list`) or plain
 // directories; directories may point anywhere inside the module,
-// including testdata trees the go tool refuses to build. Diagnostics are
-// printed as "file:line: [check] message"; the exit status is 1 when
-// findings exist, 2 on load/usage errors, 0 when clean.
+// including testdata trees the go tool refuses to build. Packages are
+// loaded and analyzed in parallel; output order is deterministic.
+//
+// -format selects the output: "text" (default) prints
+// "file:line: [check] message" lines, "json" a flat findings array, and
+// "sarif" a SARIF 2.1.0 log suitable for GitHub code scanning. Findings
+// suppressed in source via "//greenlint:ignore <check> <reason>" are
+// excluded from the text stream (and from the exit status) but carried
+// in json/sarif output with their justification.
+//
+// The exit status is 1 when active findings exist, 2 on load/usage
+// errors, 0 when clean.
 package main
 
 import (
@@ -23,7 +33,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"green/internal/lint"
 )
@@ -31,11 +43,12 @@ import (
 func main() {
 	var (
 		checks = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		format = flag.String("format", lint.FormatText, "output format: text, json, or sarif")
 		list   = flag.Bool("list", false, "list available checks and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: greenlint [-checks name,...] [-list] [packages]\n\n"+
+			"usage: greenlint [-checks name,...] [-format text|json|sarif] [-list] [packages]\n\n"+
 				"Lints Green API usage. Packages default to ./...; arguments may be\n"+
 				"go-list patterns or plain directories.\n\n")
 		flag.PrintDefaults()
@@ -49,13 +62,13 @@ func main() {
 		return
 	}
 
-	var names []string
-	if *checks != "" {
-		for _, n := range strings.Split(*checks, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
-		}
+	outFormat, err := lint.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	names, err := parseChecks(*checks)
+	if err != nil {
+		fatal(err)
 	}
 
 	args := flag.Args()
@@ -67,31 +80,109 @@ func main() {
 		fatal(err)
 	}
 
-	cwd, _ := os.Getwd()
-	loader := lint.NewLoader()
-	findings := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fatal(err)
-		}
-		diags, err := lint.Lint(pkg, names)
-		if err != nil {
-			fatal(err)
-		}
-		for _, d := range diags {
-			file := d.Pos.Filename
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-			fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Check, d.Message)
-		}
-		findings += len(diags)
+	results, err := lintAll(dirs, names)
+	if err != nil {
+		fatal(err)
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "greenlint: %d finding(s)\n", findings)
+	merged := lint.Merge(results)
+
+	cwd, _ := os.Getwd()
+	switch outFormat {
+	case lint.FormatText:
+		err = lint.WriteText(os.Stdout, merged, cwd)
+	case lint.FormatJSON:
+		err = lint.WriteJSON(os.Stdout, merged, cwd)
+	case lint.FormatSARIF:
+		err = lint.WriteSARIF(os.Stdout, merged, cwd)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if n := len(merged.Diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "greenlint: %d finding(s)%s\n", n, suppressedNote(merged))
 		os.Exit(1)
 	}
+	if len(merged.Suppressed) > 0 {
+		fmt.Fprintf(os.Stderr, "greenlint: clean (%d finding(s) suppressed in source)\n", len(merged.Suppressed))
+	}
+}
+
+// parseChecks splits and validates the -checks flag. Unknown names are a
+// usage error (exit 2) listing the valid set, so a typo never silently
+// skips a check.
+func parseChecks(flagValue string) ([]string, error) {
+	if flagValue == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, n := range strings.Split(flagValue, ",") {
+		if n = strings.TrimSpace(n); n == "" {
+			continue
+		}
+		if lint.ByName(n) == nil {
+			var valid []string
+			for _, a := range lint.Analyzers() {
+				valid = append(valid, a.Name)
+			}
+			return nil, fmt.Errorf("unknown check %q (valid: %s)", n, strings.Join(valid, ", "))
+		}
+		names = append(names, n)
+	}
+	return names, nil
+}
+
+// lintAll loads and lints every directory across a worker pool. The
+// source importer is not safe for concurrent use, so each worker owns a
+// private Loader; results land in an index-addressed slice, keeping
+// output deterministic regardless of completion order.
+func lintAll(dirs []string, names []string) ([]lint.Result, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]lint.Result, len(dirs))
+	errs := make([]error, len(dirs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loader := lint.NewLoader()
+			for i := range next {
+				pkg, err := loader.Load(dirs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = lint.LintAll(pkg, names)
+			}
+		}()
+	}
+	for i := range dirs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func suppressedNote(res lint.Result) string {
+	if len(res.Suppressed) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d suppressed", len(res.Suppressed))
 }
 
 func fatal(err error) {

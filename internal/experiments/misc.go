@@ -35,14 +35,14 @@ func runOverhead(o Options) (*Table, error) {
 	}
 
 	// Plain version.
-	plainStart := time.Now()
+	plainStart := time.Now() //greenlint:ignore nondet the experiment's purpose is measuring real wall-clock overhead
 	sinkPlain := 0.0
 	for run := 0; run < iterations; run++ {
 		for i := 0; i < base; i++ {
 			sinkPlain = body(i, sinkPlain)
 		}
 	}
-	plain := time.Since(plainStart)
+	plain := time.Since(plainStart) //greenlint:ignore nondet the experiment's purpose is measuring real wall-clock overhead
 
 	// Green-instrumented version, approximation disabled, Sample_QoS 1%.
 	pts := []model.CalPoint{
@@ -60,7 +60,7 @@ func runOverhead(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	greenStart := time.Now()
+	greenStart := time.Now() //greenlint:ignore nondet the experiment's purpose is measuring real wall-clock overhead
 	sinkGreen := 0.0
 	for run := 0; run < iterations; run++ {
 		exec, err := loop.Begin(noopQoS{})
@@ -73,7 +73,7 @@ func runOverhead(o Options) (*Table, error) {
 		}
 		exec.Finish(i)
 	}
-	green := time.Since(greenStart)
+	green := time.Since(greenStart) //greenlint:ignore nondet the experiment's purpose is measuring real wall-clock overhead
 
 	if sinkPlain != sinkGreen {
 		return nil, fmt.Errorf("overhead experiment diverged: %v vs %v", sinkPlain, sinkGreen)

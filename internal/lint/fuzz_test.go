@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"testing"
+)
+
+// FuzzAnalyzers feeds arbitrary Go source through the lenient loader and
+// the full analyzer suite. The invariant under test is crash-freedom:
+// whatever the input — malformed syntax, half-typed Green API usage,
+// pathological control flow — parsing may fail, but nothing may panic.
+func FuzzAnalyzers(f *testing.F) {
+	seeds := []string{
+		// The canonical correct protocol.
+		`package p
+
+import "green/internal/core"
+
+func f(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	i := 0
+	for ; exec.Continue(i); i++ {
+	}
+	exec.Finish(i)
+}
+`,
+		// Early-return leak with a suppression directive.
+		`package p
+
+import "green/internal/core"
+
+func f(l *core.Loop, q core.LoopQoS, bad bool) error {
+	//greenlint:ignore finishpath fuzz seed
+	exec, err := l.Begin(q)
+	if err != nil {
+		return err
+	}
+	if bad {
+		return nil
+	}
+	exec.Finish(0)
+	return nil
+}
+`,
+		// Escaping handle plus dropped error.
+		`package p
+
+import "green/internal/core"
+
+var sink *core.LoopExec
+
+func f(l *core.Loop, q core.LoopQoS, p interface{ Any() }) {
+	exec, _ := l.Begin(q)
+	sink = exec
+	go func() { exec.Finish(1) }()
+}
+`,
+		// Tortured control flow: goto, labels, select, defer, panic.
+		`package p
+
+func g(ch chan int) {
+	defer func() { recover() }()
+L:
+	for i := 0; ; i++ {
+		switch i {
+		case 0:
+			goto L
+		case 1:
+			fallthrough
+		case 2:
+			break L
+		default:
+			select {
+			case <-ch:
+				continue L
+			default:
+				panic("x")
+			}
+		}
+	}
+}
+`,
+		// Does not type-check: undefined names and bad arity.
+		`package p
+
+import "green/internal/core"
+
+func f(l *core.Loop) {
+	exec, err := l.Begin()
+	if err != nil {
+		return
+	}
+	frobnicate(exec)
+	exec.Finish(0)
+}
+`,
+		// Nondeterminism in calibration context.
+		`package p
+
+import (
+	"math/rand"
+	"time"
+
+	"green/internal/core"
+	"green/internal/model"
+)
+
+func cal(name string) (*model.LoopModel, error) {
+	c := core.NewLoopCalibration(name)
+	start := time.Now()
+	_ = c.AddRun([]float64{rand.Float64()}, []float64{time.Since(start).Seconds()})
+	return c.Build()
+}
+`,
+		// Syntax-adjacent garbage.
+		"package p\nfunc f() { if { } }\n",
+		"package p\nfunc (",
+		"",
+		"\x00\xff\xfe",
+		"package p\n//greenlint:ignore\n//greenlint:ignore errdrop\n//greenlint:ignore errdrop reason\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fresh loader per input keeps the shared importer cache out of
+		// the trust base; crash-freedom must not depend on warm state.
+		pkg, err := NewLoader().LoadSource("fuzz.go", data)
+		if err != nil {
+			return // unparseable input is fine; panics are not
+		}
+		res, err := LintAll(pkg, nil)
+		if err != nil {
+			t.Fatalf("LintAll rejected valid analyzer set: %v", err)
+		}
+		for _, d := range append(res.Diags, res.Suppressed...) {
+			if d.Check == "" || d.Message == "" {
+				t.Fatalf("malformed diagnostic: %+v", d)
+			}
+		}
+	})
+}

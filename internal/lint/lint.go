@@ -44,6 +44,9 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// SuppressReason is the justification of the //greenlint:ignore
+	// directive that suppressed this finding; empty for active findings.
+	SuppressReason string
 }
 
 // String formats the diagnostic in the canonical driver output form.
@@ -77,10 +80,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for the driver's -list output.
 	Doc string
-	run  func(*Pass)
+	run func(*Pass)
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five AST-level
+// checks of the original suite, then the four CFG/dataflow analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerBeginFinish,
@@ -88,6 +92,10 @@ func Analyzers() []*Analyzer {
 		analyzerSLARange,
 		analyzerCtrlCopy,
 		analyzerCalOrder,
+		analyzerFinishPath,
+		analyzerHandleEscape,
+		analyzerErrDrop,
+		analyzerNonDet,
 	}
 }
 
@@ -101,16 +109,36 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// Result is the outcome of linting one package: the active findings plus
+// the findings muted by //greenlint:ignore directives (each carrying its
+// justification), both sorted by position.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+}
+
 // Lint runs the named checks (all when names is empty) over a loaded
-// package and returns the findings sorted by position.
+// package and returns the active findings sorted by position. Suppressed
+// findings are dropped; use LintAll to see them.
 func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
+	res, err := LintAll(pkg, names)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// LintAll runs the named checks (all when names is empty) over a loaded
+// package, applies the package's suppression directives, and returns
+// both the active and the suppressed findings.
+func LintAll(pkg *Package, names []string) (Result, error) {
 	analyzers := Analyzers()
 	if len(names) > 0 {
 		analyzers = analyzers[:0:0]
 		for _, n := range names {
 			a := ByName(n)
 			if a == nil {
-				return nil, fmt.Errorf("lint: unknown check %q", n)
+				return Result{}, fmt.Errorf("lint: unknown check %q", n)
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -127,6 +155,14 @@ func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
 		}
 		a.run(pass)
 	}
+	res := applySuppressions(pkg, diags)
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res, nil
+}
+
+// sortDiags orders diagnostics by file, line, then check name.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,5 +173,4 @@ func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
 		}
 		return a.Check < b.Check
 	})
-	return diags, nil
 }

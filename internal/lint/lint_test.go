@@ -78,6 +78,10 @@ func TestFixtures(t *testing.T) {
 		{"slarange"},
 		{"ctrlcopy"},
 		{"calorder"},
+		{"finishpath"},
+		{"handleescape"},
+		{"errdrop"},
+		{"nondet"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.check, func(t *testing.T) {

@@ -25,6 +25,10 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker's fact tables.
 	Info *types.Info
+	// TypeErrors holds the type-checking errors of a lenient load. When
+	// non-empty, Info is partial: analyzers still run but see fewer
+	// facts, so they report less, never more.
+	TypeErrors []error
 }
 
 // Loader parses and type-checks package directories using only the
@@ -46,8 +50,25 @@ func NewLoader() *Loader {
 
 // Load parses the non-test Go files of one directory and type-checks
 // them. The directory may be anywhere inside the module, including under
-// testdata trees the go tool itself refuses to build.
+// testdata trees the go tool itself refuses to build. Type errors are
+// fatal; use LoadLenient to lint packages that do not fully type-check.
 func (l *Loader) Load(dir string) (*Package, error) {
+	pkg, err := l.load(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// LoadLenient is Load, except that type-checking errors do not abort the
+// load: the errors are collected in Package.TypeErrors and the analyzers
+// run over whatever partial type information survives. Parse errors are
+// still fatal — without syntax there is nothing to analyze.
+func (l *Loader) LoadLenient(dir string) (*Package, error) {
+	return l.load(dir, true)
+}
+
+func (l *Loader) load(dir string, lenient bool) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -73,18 +94,58 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
+	pkg := &Package{Dir: abs, Fset: l.fset, Files: files}
+	pkg.Types, pkg.Info, pkg.TypeErrors, err = l.check(importPathFor(abs), files, lenient)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	return pkg, nil
+}
+
+// check type-checks files. In lenient mode every type error is collected
+// instead of aborting, and the (possibly partial) results are returned.
+func (l *Loader) check(path string, files []*ast.File, lenient bool) (*types.Package, *types.Info, []error, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
+	var typeErrs []error
 	conf := types.Config{Importer: l.imp}
-	pkg, err := conf.Check(importPathFor(abs), l.fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	if lenient {
+		conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+		// The source importer can fail hard on unresolvable imports even
+		// with an Error hook; FakeImportC plus the hook covers the rest.
 	}
-	return &Package{Dir: abs, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && !lenient {
+		return nil, nil, nil, err
+	}
+	if err != nil && len(typeErrs) == 0 {
+		typeErrs = append(typeErrs, err)
+	}
+	if pkg == nil {
+		pkg = types.NewPackage(path, "main")
+	}
+	return pkg, info, typeErrs, nil
+}
+
+// LoadSource parses and leniently type-checks a single in-memory file,
+// the entry point the fuzzer and the CFG tests use. Imports that cannot
+// be resolved become type errors, not failures, so analyzers always get
+// to run; only unparseable source returns an error.
+func (l *Loader) LoadSource(filename string, src []byte) (*Package, error) {
+	f, err := parser.ParseFile(l.fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: ".", Fset: l.fset, Files: []*ast.File{f}}
+	pkg.Types, pkg.Info, pkg.TypeErrors, err = l.check(filename, pkg.Files, true)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
 }
 
 // importPathFor derives a module-relative import path for dir by walking

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondet guards the determinism contract of the calibration and model
+// layer. Parallel calibration (LoopCalibration.AddRunsParallel, the
+// CombineSearchOpt worker fan-out) promises a bit-identical model for any
+// worker count; that promise only holds if the measurement and model
+// code itself is a pure function of its inputs. A time.Now timestamp or
+// a draw from the globally-seeded math/rand source re-introduces run-to-
+// run variance — models stop being reproducible, and the serial-vs-
+// parallel equivalence tests turn flaky in the worst possible way
+// (rarely, and only under load).
+//
+// The check is scoped to "calibration context": function bodies that
+// touch the model package or the calibration/search API. Operational and
+// measurement code (energy meters, load generators) legitimately reads
+// the wall clock and is out of scope. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are deterministic and never flagged —
+// only the package-level convenience functions of math/rand are.
+var analyzerNonDet = &Analyzer{
+	Name: "nondet",
+	Doc:  "calibration/model code must not call time.Now or the global math/rand source; determinism keeps parallel calibration bit-identical",
+	run:  runNonDet,
+}
+
+// calibrationFuncs are core/green functions and methods whose presence
+// marks a function body as calibration context.
+var calibrationFuncs = map[string]bool{
+	"AddRun":             true,
+	"AddRuns":            true,
+	"AddRunsParallel":    true,
+	"Build":              true,
+	"BuildLoopModel":     true,
+	"BuildFuncModel":     true,
+	"CombineSearch":      true,
+	"CombineSearchOpt":   true,
+	"NewLoopCalibration": true,
+	"NewFuncCalibration": true,
+	"NewCalibration2D":   true,
+}
+
+// nondetTimeFuncs are the wall-clock reads that break reproducibility.
+var nondetTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randDeterministic are math/rand package functions that construct
+// explicitly-seeded sources rather than drawing from the global one.
+var randDeterministic = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runNonDet(p *Pass) {
+	forEachFuncBody(p.Files, func(body *ast.BlockStmt) {
+		if !isCalibrationContext(p, body) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on an explicit *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if nondetTimeFuncs[fn.Name()] {
+					p.reportf(call.Pos(), "time.%s in calibration code; derive timestamps from inputs so parallel calibration stays bit-identical", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randDeterministic[fn.Name()] {
+					p.reportf(call.Pos(), "rand.%s draws from the global source in calibration code; use rand.New(rand.NewSource(seed)) so results are reproducible", fn.Name())
+				}
+			}
+			return true
+		})
+	})
+}
+
+// isCalibrationContext reports whether body references the model package
+// or calls into the calibration/search API.
+func isCalibrationContext(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[n]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == modelPath {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeOf(p.Info, n); fn != nil && fn.Pkg() != nil {
+				path := fn.Pkg().Path()
+				if (path == corePath || path == "green") && calibrationFuncs[fn.Name()] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

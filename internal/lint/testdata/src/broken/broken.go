@@ -1,0 +1,34 @@
+// Package broken is a greenlint robustness fixture: it does not
+// type-check (undefined names, a missing import, a bad call), yet the
+// analyzers must degrade gracefully on a lenient load — report what the
+// partial type information supports, and never crash.
+package broken
+
+import "green/internal/core"
+
+// usesUndefined references an identifier that does not exist.
+func usesUndefined(l *core.Loop, q core.LoopQoS) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	i := 0
+	for ; exec.Continue(i); i++ {
+		frobnicate(i) // undefined: frobnicate
+	}
+	exec.Finish(i)
+}
+
+// badCall calls Begin with the wrong arity.
+func badCall(l *core.Loop) {
+	exec, err := l.Begin()
+	if err != nil {
+		return
+	}
+	exec.Finish(0)
+}
+
+// missingType uses a type from a package that is not imported.
+func missingType(x strangepkg.Thing) int {
+	return x.Field
+}

@@ -1,0 +1,58 @@
+// Package errdrop is a greenlint fixture: Green API errors thrown away
+// at the call site, silently re-opening the validation the constructors
+// and mutators perform.
+package errdrop
+
+import (
+	"green/internal/core"
+	"green/internal/model"
+)
+
+// dropSetAdaptive ignores the validation SetAdaptive performs; a
+// rejected AdaptiveParams leaves the controller on its old parameters
+// with nobody the wiser.
+func dropSetAdaptive(l *core.Loop, p model.AdaptiveParams) {
+	l.SetAdaptive(p) // want "returns an error that is discarded"
+}
+
+// dropConstructor assigns the constructor's error to the blank
+// identifier; loop is nil on rejection and the next use panics.
+func dropConstructor(cfg core.LoopConfig) *core.Loop {
+	loop, _ := core.NewLoop(cfg) // want "assigned to _"
+	return loop
+}
+
+// dropRestore ignores a failed state restoration; the controller keeps
+// running on whatever state it had.
+func dropRestore(l *core.Loop, s core.LoopState) {
+	l.Restore(s) // want "returns an error that is discarded"
+}
+
+// dropInDefer defers the call, which throws the error away at exit.
+func dropInDefer(l *core.Loop, s core.LoopState) {
+	defer l.Restore(s) // want "defer Restore discards"
+}
+
+// handled does everything right: no findings.
+func handled(cfg core.LoopConfig, p model.AdaptiveParams) (*core.Loop, error) {
+	loop, err := core.NewLoop(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := loop.SetAdaptive(p); err != nil {
+		return nil, err
+	}
+	return loop, nil
+}
+
+// notGreenAPI drops an error from an unrelated function; out of scope.
+func notGreenAPI() {
+	localErring()
+}
+
+func localErring() error { return nil }
+
+// suppressed drops the error deliberately, with a reviewed reason.
+func suppressed(l *core.Loop, p model.AdaptiveParams) {
+	l.SetAdaptive(p) //greenlint:ignore errdrop fixture demonstrating an audited suppression
+}

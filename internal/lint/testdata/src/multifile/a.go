@@ -1,0 +1,23 @@
+// Package multifile is a greenlint robustness fixture: the Begin happens
+// in one file and helpers live in another, so analyzers must work from
+// package-level type information, not per-file assumptions.
+package multifile
+
+import "green/internal/core"
+
+// leakAcrossFiles leaks on the early-return path; the loop helper is in
+// b.go.
+func leakAcrossFiles(l *core.Loop, q core.LoopQoS, slow func() bool) error {
+	exec, err := l.Begin(q) // want "reaches a function exit without exec.Finish"
+	if err != nil {
+		return err
+	}
+	i := 0
+	for ; exec.Continue(i); i++ {
+		if slow() {
+			return errSlow
+		}
+	}
+	exec.Finish(i)
+	return nil
+}

@@ -1,0 +1,23 @@
+package multifile
+
+import (
+	"errors"
+
+	"green/internal/core"
+)
+
+var errSlow = errors.New("slow")
+
+// okOtherFile is the correct protocol, in a different file of the same
+// package.
+func okOtherFile(l *core.Loop, q core.LoopQoS) int {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return 0
+	}
+	i := 0
+	for ; exec.Continue(i); i++ {
+	}
+	exec.Finish(i)
+	return i
+}

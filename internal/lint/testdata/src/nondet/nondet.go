@@ -1,0 +1,65 @@
+// Package nondet is a greenlint fixture: wall-clock and global-rand
+// calls inside calibration/model code, where bit-identical parallel
+// calibration demands pure functions of the inputs.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+
+	"green/internal/core"
+	"green/internal/model"
+)
+
+// calibrateWithClock timestamps calibration points from the wall clock;
+// two runs of the same inputs produce different models.
+func calibrateWithClock(cal *core.LoopCalibration) float64 {
+	start := time.Now() // want "time.Now in calibration code"
+	if err := cal.AddRun([]float64{0.1, 0.2}, []float64{1, 2}); err != nil {
+		return 0
+	}
+	return time.Since(start).Seconds() // want "time.Since in calibration code"
+}
+
+// calibrateWithGlobalRand perturbs calibration inputs from the global
+// math/rand source, which is randomly seeded per process.
+func calibrateWithGlobalRand(points []model.CalPoint) []model.CalPoint {
+	out := make([]model.CalPoint, len(points))
+	for i, pt := range points {
+		pt.QoSLoss += rand.Float64() * 1e-9 // want "draws from the global source"
+		out[i] = pt
+	}
+	return out
+}
+
+// okSeeded uses an explicitly seeded generator: deterministic, clean.
+func okSeeded(points []model.CalPoint, seed int64) []model.CalPoint {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]model.CalPoint, len(points))
+	for i, pt := range points {
+		pt.QoSLoss += rng.Float64() * 1e-9
+		out[i] = pt
+	}
+	return out
+}
+
+// okOperational reads the clock outside calibration context — an
+// operational measurement, none of nondet's business.
+func okOperational() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+func work() {}
+
+// suppressed measures real elapsed time on purpose (an overhead
+// experiment), with the justification on record.
+func suppressed(cal *core.LoopCalibration) time.Duration {
+	start := time.Now() //greenlint:ignore nondet fixture demonstrating an audited suppression
+	if err := cal.AddRun([]float64{0.1, 0.2}, []float64{1, 2}); err != nil {
+		return 0
+	}
+	//greenlint:ignore nondet fixture demonstrating an audited suppression
+	return time.Since(start)
+}

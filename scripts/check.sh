@@ -14,8 +14,23 @@ go vet ./...
 echo "== lint =="
 go run ./cmd/greenlint ./...
 
+echo "== lint (sarif) =="
+# The SARIF writer feeds code-scanning upload in CI; exercise it on every
+# run so a malformed document fails here, not in the forge UI. python3 is
+# the portable JSON validator on dev machines and CI runners alike.
+go run ./cmd/greenlint -format sarif ./... > greenlint.sarif
+if command -v python3 > /dev/null 2>&1; then
+	python3 -c 'import json,sys; d=json.load(open("greenlint.sarif")); assert d["version"]=="2.1.0", d["version"]'
+fi
+
 echo "== tests =="
 go test ./...
+
+echo "== fuzz (smoke) =="
+# Ten seconds of coverage-guided input mutation over the analyzer suite:
+# enough to catch fresh crashes on the parser/typechecker boundary
+# without stalling the gate.
+go test -run '^$' -fuzz FuzzAnalyzers -fuzztime 10s ./internal/lint
 
 echo "== race (concurrency-sensitive packages) =="
 go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search \
