@@ -1,0 +1,100 @@
+package cmdtest
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral TCP port for the child process.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// lockedBuffer is a concurrency-safe output sink for the child process.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestGreenserveGracefulShutdown boots the server with a state
+// directory, interrupts it, and verifies it exits cleanly after writing
+// a final controller snapshot.
+func TestGreenserveGracefulShutdown(t *testing.T) {
+	stateDir := t.TempDir()
+	var out lockedBuffer
+	cmd := exec.Command(filepath.Join(binaries(t), "greenserve"),
+		"-addr", freePort(t), "-state-dir", stateDir)
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Calibration over the full corpus runs first; give it time.
+	deadline := time.Now().Add(60 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up:\n%s", out.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not exit after SIGTERM:\n%s", out.String())
+	}
+
+	if !strings.Contains(out.String(), "final snapshot written") {
+		t.Errorf("no final-snapshot log line:\n%s", out.String())
+	}
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snapshot.json") {
+			snapshots++
+		}
+	}
+	if snapshots == 0 {
+		t.Errorf("no snapshot file in %s after shutdown; dir: %v", stateDir, entries)
+	}
+}

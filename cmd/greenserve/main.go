@@ -4,17 +4,29 @@
 // Usage:
 //
 //	greenserve -addr :8080 -sla 0.02
+//	greenserve -addr :8080 -state-dir /var/lib/greenserve   # crash-safe state
 //
-// Endpoints: /search?q=..., /stats, /config, /healthz.
+// Endpoints: /search?q=..., /stats, /config, /healthz, /readyz.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests via
+// http.Server.Shutdown and, when -state-dir is set, writes a final
+// controller snapshot so the next start resumes recalibration where
+// this one stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"green/internal/chaos"
 	"green/internal/search"
 	"green/internal/serve"
 )
@@ -25,6 +37,16 @@ func main() {
 		sla       = flag.Float64("sla", 0.02, "fraction of queries allowed a changed result page")
 		seed      = flag.Int64("seed", 42, "corpus seed")
 		saveIndex = flag.String("save-index", "", "build the corpus, write the index here, and exit")
+
+		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller snapshots (empty disables persistence)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Second, "background snapshot period")
+		maxInFlight  = flag.Int("max-in-flight", 128, "concurrent /search cap before shedding with 503 (negative disables)")
+		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request deadline; partial results are served at expiry (negative disables)")
+		drain        = flag.Duration("drain-timeout", 10*time.Second, "in-flight drain budget at shutdown")
+
+		chaosSeed       = flag.Int64("chaos-seed", 1, "fault-injection schedule seed")
+		chaosPanicEvery = flag.Int("chaos-panic-every", 0, "inject a QoS-callback panic every Nth call (0 disables; testing only)")
+		chaosDelayEvery = flag.Int("chaos-delay-every", 0, "inject a QoS-callback latency spike every Nth call (0 disables; testing only)")
 	)
 	flag.Parse()
 
@@ -49,13 +71,64 @@ func main() {
 		return
 	}
 
+	inj := chaos.New(chaos.Config{
+		Seed: *chaosSeed, PanicEvery: *chaosPanicEvery, DelayEvery: *chaosDelayEvery,
+	})
+	if inj != nil {
+		log.Printf("CHAOS ENABLED: panic every %d, delay every %d (seed %d)",
+			*chaosPanicEvery, *chaosDelayEvery, *chaosSeed)
+	}
+
 	log.Printf("building corpus and calibrating (seed %d)...", *seed)
-	s, err := serve.New(serve.Config{SLA: *sla, Seed: *seed})
+	s, err := serve.New(serve.Config{
+		SLA: *sla, Seed: *seed,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapInterval,
+		MaxInFlight:      *maxInFlight,
+		RequestTimeout:   *reqTimeout,
+		Chaos:            inj,
+	})
 	if err != nil {
 		log.Fatalf("greenserve: %v", err)
 	}
 	log.Printf("calibrated: SLA %.2f%% -> initial M = %.0f documents",
 		*sla*100, s.Loop().Level())
+	if *stateDir != "" {
+		log.Printf("state: %s (%s)", *stateDir, s.RestoreNote())
+	}
+
+	stopSnapshots := s.StartSnapshotLoop()
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("listening on %s (try /search?q=hello+world, /stats)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("greenserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop taking requests, drain in-flight ones,
+	// then persist the final controller state.
+	log.Printf("shutting down: draining in-flight requests (up to %v)...", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("greenserve: drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("greenserve: %v", err)
+	}
+	stopSnapshots()
+	if err := s.SaveState(); err != nil {
+		log.Fatalf("greenserve: final snapshot failed: %v", err)
+	}
+	if *stateDir != "" {
+		log.Printf("final snapshot written to %s", *stateDir)
+	}
 }

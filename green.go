@@ -72,6 +72,16 @@ const (
 	ActDecrease = core.ActDecrease
 )
 
+// Panic circuit-breaker states (see LoopConfig.BreakerThreshold): a
+// QoS callback that panics during a monitored execution is contained
+// and counted; enough consecutive failures trip the controller to
+// forced-precise (open) until a half-open probe succeeds.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
+
 // Core controller types. See the package documentation for the protocol;
 // the underlying implementations are documented in green/internal/core.
 type (
@@ -152,6 +162,14 @@ type (
 	Grid2D = model.Grid2D
 	// Calibration2D collects 2-parameter calibration samples.
 	Calibration2D = model.Calibration2D
+
+	// BreakerState is the panic circuit breaker's state (closed, open,
+	// half-open).
+	BreakerState = core.BreakerState
+	// BreakerStats snapshots a controller's panic-containment breaker:
+	// its state, consecutive failures, contained panics, and trips.
+	// Available via Loop.Breaker and Func.Breaker.
+	BreakerStats = core.BreakerStats
 
 	// Event describes one monitored execution (observability hook).
 	Event = core.Event

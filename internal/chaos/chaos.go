@@ -1,0 +1,187 @@
+// Package chaos is the fault-injection harness for the resilience
+// layer: seeded, deterministic injection of QoS-callback panics,
+// latency spikes, and snapshot-file corruption. The injector is wired
+// into guarded sites (the serve QoS adapter, the snapshot loop) behind
+// a nil check, so production builds pay one pointer comparison when
+// chaos is off.
+//
+// Determinism matters more than realism here: the chaos integration
+// test and the chaos-smoke CI stage must fail reproducibly, so the
+// injection schedule is a pure function of (seed, site, per-site call
+// ordinal) — every PanicEvery-th call to a site panics, with a
+// seed-derived phase offset per site so different seeds exercise
+// different interleavings. Which *request* draws an injected fault
+// still depends on goroutine scheduling, but the aggregate fault rate
+// and count per site do not.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the fault schedule.
+type Config struct {
+	// Seed phases the per-site schedules and drives file corruption.
+	Seed int64
+	// PanicEvery injects a panic on every Nth call to a guarded panic
+	// site (0 disables panics).
+	PanicEvery int
+	// DelayEvery injects a latency spike on every Nth call to a guarded
+	// delay site (0 disables delays).
+	DelayEvery int
+	// Delay is the injected spike duration (default 5ms).
+	Delay time.Duration
+}
+
+// Panic is the value thrown by injected panics, so containment code and
+// tests can recognize harness faults in recovered values.
+type Panic struct {
+	// Site names the guarded call site.
+	Site string
+	// N is the per-site call ordinal that drew the fault.
+	N int64
+}
+
+// String implements fmt.Stringer.
+func (p Panic) String() string {
+	return fmt.Sprintf("chaos: injected panic at %s (call %d)", p.Site, p.N)
+}
+
+// Injector injects faults per Config. A nil *Injector is a valid no-op,
+// so call sites need no feature flag.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*site
+
+	panics atomic.Int64
+	delays atomic.Int64
+}
+
+// site tracks one guarded call site's ordinal and phase.
+type site struct {
+	calls atomic.Int64
+	phase int64
+}
+
+// New builds an injector. A nil return for an all-zero schedule keeps
+// the no-op path trivially cheap.
+func New(cfg Config) *Injector {
+	if cfg.PanicEvery <= 0 && cfg.DelayEvery <= 0 {
+		return nil
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 5 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, sites: make(map[string]*site)}
+}
+
+// siteFor returns (creating if needed) the state for a named site.
+func (i *Injector) siteFor(name string) *site {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s, ok := i.sites[name]
+	if !ok {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s", i.cfg.Seed, name)
+		s = &site{phase: int64(h.Sum64() % uint64(maxInt64(i.cfg.PanicEvery, i.cfg.DelayEvery, 1)))}
+		i.sites[name] = s
+	}
+	return s
+}
+
+func maxInt64(vs ...int) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return int64(m)
+}
+
+// MaybePanic panics with a chaos.Panic value on this site's scheduled
+// ordinals. Safe on a nil receiver.
+func (i *Injector) MaybePanic(siteName string) {
+	if i == nil || i.cfg.PanicEvery <= 0 {
+		return
+	}
+	s := i.siteFor(siteName)
+	n := s.calls.Add(1)
+	if (n+s.phase)%int64(i.cfg.PanicEvery) == 0 {
+		i.panics.Add(1)
+		panic(Panic{Site: siteName, N: n})
+	}
+}
+
+// MaybeDelay sleeps for the configured spike on this site's scheduled
+// ordinals. Safe on a nil receiver.
+func (i *Injector) MaybeDelay(siteName string) {
+	if i == nil || i.cfg.DelayEvery <= 0 {
+		return
+	}
+	s := i.siteFor(siteName + "#delay")
+	n := s.calls.Add(1)
+	if (n+s.phase)%int64(i.cfg.DelayEvery) == 0 {
+		i.delays.Add(1)
+		time.Sleep(i.cfg.Delay)
+	}
+}
+
+// Counts reports how many faults have fired.
+func (i *Injector) Counts() (panics, delays int64) {
+	if i == nil {
+		return 0, 0
+	}
+	return i.panics.Load(), i.delays.Load()
+}
+
+// CorruptFile deterministically flips bytes of the file at path (about
+// 1% of them, at least 4), simulating on-disk corruption of a snapshot.
+// The write is deliberately non-atomic — corruption does not fsync.
+func CorruptFile(path string, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("chaos: corrupt %s: file is empty", path)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	flips := len(data) / 100
+	if flips < 4 {
+		flips = 4
+	}
+	for f := 0; f < flips; f++ {
+		idx := rng.Intn(len(data))
+		data[idx] ^= byte(1 + rng.Intn(255))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("chaos: corrupt %s: %w", path, err)
+	}
+	return nil
+}
+
+// TruncateFile cuts the file to a seed-chosen fraction (between a
+// quarter and three quarters) of its length, simulating a torn write
+// that an atomic-rename snapshot path should never produce — and that
+// the loader must reject regardless.
+func TruncateFile(path string, seed int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := info.Size()/4 + rng.Int63n(info.Size()/2+1)
+	if err := os.Truncate(path, n); err != nil {
+		return fmt.Errorf("chaos: truncate %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var i *Injector
+	i.MaybePanic("x") // must not panic or nil-deref
+	i.MaybeDelay("x")
+	if p, d := i.Counts(); p != 0 || d != 0 {
+		t.Errorf("nil injector counts = %d, %d", p, d)
+	}
+	if New(Config{}) != nil {
+		t.Error("all-zero schedule should build a nil injector")
+	}
+}
+
+func TestPanicScheduleDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		i := New(Config{Seed: seed, PanicEvery: 5})
+		var fired []int
+		for call := 0; call < 50; call++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(Panic); !ok {
+							t.Fatalf("panic value %T, want chaos.Panic", r)
+						}
+						fired = append(fired, call)
+					}
+				}()
+				i.MaybePanic("site")
+			}()
+		}
+		return fired
+	}
+	a, b := run(1), run(1)
+	if len(a) != 10 {
+		t.Fatalf("PanicEvery=5 fired %d/50 times, want 10", len(a))
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+	// A different seed phases the schedule differently for at least some
+	// sites; the rate stays exactly 1/PanicEvery.
+	c := run(2)
+	if len(c) != 10 {
+		t.Errorf("seed 2 fired %d/50 times, want 10", len(c))
+	}
+}
+
+func TestSitesScheduleIndependently(t *testing.T) {
+	i := New(Config{Seed: 3, PanicEvery: 7})
+	count := func(site string) int {
+		n := 0
+		for call := 0; call < 70; call++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						n++
+					}
+				}()
+				i.MaybePanic(site)
+			}()
+		}
+		return n
+	}
+	if a, b := count("alpha"), count("beta"); a != 10 || b != 10 {
+		t.Errorf("per-site fault counts = %d, %d, want 10 each", a, b)
+	}
+	if p, _ := i.Counts(); p != 20 {
+		t.Errorf("total panics = %d, want 20", p)
+	}
+}
+
+func TestMaybeDelaySleeps(t *testing.T) {
+	i := New(Config{Seed: 1, DelayEvery: 1, Delay: 10 * time.Millisecond})
+	t0 := time.Now()
+	i.MaybeDelay("slow")
+	if el := time.Since(t0); el < 10*time.Millisecond {
+		t.Errorf("delay site returned after %v, want >= 10ms", el)
+	}
+	if _, d := i.Counts(); d != 1 {
+		t.Errorf("delays = %d, want 1", d)
+	}
+}
+
+func TestCorruptFileFlipsBytesDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	orig := make([]byte, 1000)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	write := func() {
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write()
+	if err := CorruptFile(path, 9); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	write()
+	if err := CorruptFile(path, 9); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(a) != string(b) {
+		t.Error("same seed produced different corruption")
+	}
+	if string(a) == string(orig) {
+		t.Error("corruption changed nothing")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff < 4 {
+		t.Errorf("only %d bytes flipped, want >= 4", diff)
+	}
+}
+
+func TestCorruptFileErrors(t *testing.T) {
+	if err := CorruptFile(filepath.Join(t.TempDir(), "missing"), 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(empty, 1); err == nil {
+		t.Error("empty file accepted")
+	}
+}
+
+func TestTruncateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, make([]byte, 800), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() <= 0 || info.Size() >= 800 {
+		t.Errorf("truncated size = %d, want in (0, 800)", info.Size())
+	}
+	if err := TruncateFile(filepath.Join(t.TempDir(), "missing"), 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}

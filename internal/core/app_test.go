@@ -161,6 +161,87 @@ func TestAppLaddersSaturate(t *testing.T) {
 	}
 }
 
+// TestAppBackoffEscalationCappedAtMaxRounds pins the escalation ceiling:
+// once the backoff round passes MaxBackoffRounds every unit is disabled,
+// and further low-QoS observations keep the app in that terminal state —
+// disabled stays disabled, no unit is adjusted again, and nothing panics.
+func TestAppBackoffEscalationCappedAtMaxRounds(t *testing.T) {
+	u1 := &stubUnit{name: "u1", level: 0, max: 1 << 30, sensitivity: 1}
+	u2 := &stubUnit{name: "u2", level: 0, max: 1 << 30, sensitivity: 2}
+	a, err := NewApp(AppConfig{Name: "app", SLA: 0.02, MaxBackoffRounds: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Register(u1)
+	a.Register(u2)
+	for i := 0; i < 30; i++ {
+		a.ObserveAppQoS(1.0)
+	}
+	if !a.AllDisabled() {
+		t.Fatal("app never disabled despite unbounded low QoS")
+	}
+	if u1.ApproxEnabled() || u2.ApproxEnabled() {
+		t.Error("units still enabled after global disable")
+	}
+	// Terminal state is stable under continued pressure: the accuracy
+	// ladders must not keep climbing once everything is disabled.
+	inc1, inc2 := u1.increases, u2.increases
+	for i := 0; i < 10; i++ {
+		a.ObserveAppQoS(1.0)
+	}
+	if !a.AllDisabled() {
+		t.Error("disabled state did not stick under continued low QoS")
+	}
+	if u1.increases != inc1 || u2.increases != inc2 {
+		t.Errorf("units adjusted after global disable: %d->%d, %d->%d",
+			inc1, u1.increases, inc2, u2.increases)
+	}
+}
+
+// TestAppBackoffRoundResetsWhenQoSRecovers covers both recovery branches:
+// a loss back inside the [HighFraction*SLA, SLA] band and a loss below
+// the band both clear backoffRound, and a fresh low-QoS episode must
+// climb through BackoffThreshold sensitivity-ranked adjustments again
+// before backoff re-engages.
+func TestAppBackoffRoundResetsWhenQoSRecovers(t *testing.T) {
+	for _, recovery := range []struct {
+		name string
+		loss float64
+	}{
+		{"in-band", 0.019},      // within [0.018, 0.02]
+		{"below-band", 0.001},   // under HighFraction*SLA: also decreases
+		{"at-zero-loss", 0.000}, // fully precise-looking QoS
+	} {
+		t.Run(recovery.name, func(t *testing.T) {
+			u := &stubUnit{name: "u", level: 0, max: 100, sensitivity: 1}
+			a := newTestApp(t, u)
+			for i := 0; i < 6; i++ {
+				a.ObserveAppQoS(0.5)
+			}
+			if a.BackoffRound() == 0 {
+				t.Fatal("precondition: backoff engaged")
+			}
+			a.ObserveAppQoS(recovery.loss)
+			if got := a.BackoffRound(); got != 0 {
+				t.Fatalf("backoff round = %d after recovery, want 0", got)
+			}
+			// A new low-QoS episode starts from scratch: the first
+			// BackoffThreshold (3) observations use sensitivity ranking
+			// (one increase each), only later ones escalate.
+			before := u.increases
+			for i := 0; i < 3; i++ {
+				a.ObserveAppQoS(0.5)
+			}
+			if a.BackoffRound() != 0 {
+				t.Error("backoff re-engaged before the threshold was re-crossed")
+			}
+			if got := u.increases - before; got != 3 {
+				t.Errorf("ranked increases after recovery = %d, want 3", got)
+			}
+		})
+	}
+}
+
 // End-to-end: a synthetic application whose two approximations interact
 // non-linearly (the paper's §3.4.2 validation scenario — they constructed
 // artificial examples because benchmarks never showed the effect).

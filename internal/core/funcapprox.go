@@ -50,6 +50,15 @@ type FuncConfig struct {
 	// OnEvent, when non-nil, receives an Event after every monitored
 	// call.
 	OnEvent EventFunc
+	// BreakerThreshold is the number of consecutive contained panics (in
+	// the approximate version or the QoS comparator on monitored calls)
+	// that trip the circuit breaker to forced-precise operation. Zero
+	// means 3; negative disables tripping. See resilience.go.
+	BreakerThreshold int
+	// BreakerCooldown is the number of calls the breaker stays open
+	// before a half-open probe. Zero derives four sampling intervals
+	// (minimum 16).
+	BreakerCooldown int
 }
 
 // funcState is the immutable snapshot the Call fast path reads with a
@@ -78,6 +87,7 @@ type Func struct {
 
 	state atomic.Pointer[funcState]
 	count atomic.Int64
+	brk   *breaker
 	// workMilli accumulates model work units in thousandths, so the hot
 	// path can use a single atomic add for fractional unit costs.
 	workMilli atomic.Int64
@@ -116,6 +126,7 @@ func NewFunc(cfg FuncConfig, precise Fn, approx []Fn) (*Func, error) {
 		qos:      cfg.QoS,
 		key:      cfg.Key,
 		policy:   cfg.Policy,
+		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.SampleInterval),
 	}
 	if f.qos == nil {
 		f.qos = func(precise, approx float64) float64 {
@@ -194,7 +205,18 @@ func (f *Func) Call(x float64) float64 {
 	st := f.state.Load()
 	n := f.count.Add(1)
 	monitor := st.interval > 0 && n%st.interval == 0
+	forced, probe := f.brk.observeBegin(n)
+	if forced {
+		// Breaker open: forced precise, monitoring suspended.
+		monitor = false
+	}
+	if probe {
+		monitor = true
+	}
 	v := f.selectVersion(st, x)
+	if forced {
+		v = model.PreciseVersion
+	}
 
 	if !monitor {
 		if v == model.PreciseVersion {
@@ -206,16 +228,34 @@ func (f *Func) Call(x float64) float64 {
 	}
 
 	// Monitored call: run precise; if an approximation was selected, run
-	// it too and measure the loss.
+	// it too and measure the loss. The precise call runs bare — a panic
+	// there is the program's own and propagates as it would without
+	// Green — but the extra work the monitored path adds (the approximate
+	// version and the QoS comparator) runs under recover: a panic is
+	// contained, the observation discarded, the breaker charged.
 	yp := f.precise(x)
 	work := f.cfg.Model.PreciseWork
 	loss := 0.0
+	panicked := false
 	if v != model.PreciseVersion {
-		ya := f.versions[v](x)
-		work += f.cfg.Model.Versions[v].Work
-		loss = f.qos(yp, ya)
+		if ya, ok := f.safeApprox(v, x); ok {
+			work += f.cfg.Model.Versions[v].Work
+			if lv, ok := f.safeQoS(yp, ya); ok {
+				loss = lv
+			} else {
+				panicked = true
+			}
+		} else {
+			panicked = true
+		}
 	}
 	f.addWork(work)
+
+	if panicked {
+		f.brk.onPanic(n, probe)
+		return yp
+	}
+	f.brk.onSuccess(probe)
 
 	f.mu.Lock()
 	f.monitored++
@@ -238,6 +278,29 @@ func (f *Func) Call(x float64) float64 {
 	}
 	return yp
 }
+
+// safeApprox runs approximate version v under recover.
+func (f *Func) safeApprox(v int, x float64) (y float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			y, ok = 0, false
+		}
+	}()
+	return f.versions[v](x), true
+}
+
+// safeQoS runs the QoS comparator under recover.
+func (f *Func) safeQoS(yp, ya float64) (loss float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			loss, ok = 0, false
+		}
+	}()
+	return f.qos(yp, ya), true
+}
+
+// Breaker snapshots the function controller's circuit-breaker state.
+func (f *Func) Breaker() BreakerStats { return f.brk.stats() }
 
 func (f *Func) addWork(w float64) {
 	f.workMilli.Add(int64(w*1000 + 0.5))

@@ -89,6 +89,16 @@ type LoopConfig struct {
 	// OnEvent, when non-nil, receives an Event after every monitored
 	// execution.
 	OnEvent EventFunc
+	// BreakerThreshold is the number of consecutive contained QoS-callback
+	// panics that trip the circuit breaker to forced-precise operation.
+	// Zero means 3; negative disables tripping (panics are still contained
+	// and counted). See resilience.go.
+	BreakerThreshold int
+	// BreakerCooldown is the number of executions the breaker stays open
+	// before a half-open probe re-tests the callbacks. Zero derives four
+	// sampling intervals (minimum 16). The cool-down doubles after each
+	// failed probe and resets on a successful one.
+	BreakerCooldown int
 }
 
 // loopState is the immutable snapshot of the loop's mutable approximation
@@ -170,6 +180,7 @@ type Loop struct {
 	count     atomic.Int64 // executions since creation
 	monitored atomic.Int64
 	loss      lossAccumulator
+	brk       *breaker
 
 	mu     sync.Mutex // serializes snapshot rebuilds and the policy
 	policy RecalibratePolicy
@@ -208,6 +219,7 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 		policy:   cfg.Policy,
 		step:     cfg.Step,
 		minLevel: cfg.MinLevel,
+		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.SampleInterval),
 	}
 	st := loopState{
 		interval: int64(cfg.SampleInterval),
@@ -314,6 +326,10 @@ func (l *Loop) Stats() (executions, monitored int64, meanLoss float64) {
 	return executions, monitored, meanLoss
 }
 
+// Breaker snapshots the loop's circuit-breaker state (panic containment
+// on the monitored path; see resilience.go).
+func (l *Loop) Breaker() BreakerStats { return l.brk.stats() }
+
 // LoopExec is the per-execution state of one run of the approximated
 // loop: the code Figure 3 inlines around the loop body. Handles are
 // pooled: Begin draws one, Finish recycles it, so a handle must not be
@@ -328,9 +344,12 @@ type LoopExec struct {
 	adaptive   model.AdaptiveParams
 	mode       LoopMode
 	disabled   bool
-	wouldStop  int  // iteration at which the approximation decided to stop
-	recorded   bool // Record already called for wouldStop
-	terminated bool // loop actually terminated early
+	seq        int64 // execution sequence number (breaker cool-down clock)
+	probe      bool  // this execution is the breaker's half-open probe
+	panicked   bool  // a QoS callback panicked and was contained
+	wouldStop  int   // iteration at which the approximation decided to stop
+	recorded   bool  // Record already called for wouldStop
+	terminated bool  // loop actually terminated early
 }
 
 // execPool recycles LoopExec objects so steady-state executions are
@@ -356,16 +375,31 @@ func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
 	}
 	st := l.state.Load()
 	n := l.count.Add(1)
+	monitor := st.interval > 0 && n%st.interval == 0
+	disabled := st.disabled || st.forceOff
+	forced, probe := l.brk.observeBegin(n)
+	if forced {
+		// Breaker open: forced precise, and monitoring suspended so the
+		// faulty callbacks stop running.
+		monitor, disabled = false, true
+	}
+	if probe {
+		// Half-open probe: a forced monitored execution re-tests the
+		// callbacks under recover.
+		monitor = true
+	}
 	e := execPool.Get().(*LoopExec)
 	*e = LoopExec{
 		loop:      l,
 		qos:       qos,
 		delta:     delta,
-		monitor:   st.interval > 0 && n%st.interval == 0,
+		monitor:   monitor,
 		level:     st.level,
 		adaptive:  st.adaptive,
 		mode:      l.cfg.Mode,
-		disabled:  st.disabled || st.forceOff,
+		disabled:  disabled,
+		seq:       n,
+		probe:     probe,
 		wouldStop: -1,
 	}
 	return e, nil
@@ -395,25 +429,67 @@ func (e *LoopExec) approxSaysStop(i int) bool {
 	}
 }
 
+// safeStop runs approxSaysStop under recover: on the monitored path a
+// panicking DeltaQoS.Delta is contained rather than propagated, the
+// observation is marked failed, and the loop runs to its natural end.
+func (e *LoopExec) safeStop(i int) (stop bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = true
+			stop = false
+		}
+	}()
+	return e.approxSaysStop(i)
+}
+
+// safeRecord runs LoopQoS.Record under recover and reports whether it
+// completed without panicking.
+func (e *LoopExec) safeRecord(i int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = true
+			ok = false
+		}
+	}()
+	e.qos.Record(i)
+	return true
+}
+
+// safeLoss runs LoopQoS.Loss under recover.
+func (e *LoopExec) safeLoss(finalIter int) (loss float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = true
+			loss, ok = 0, false
+		}
+	}()
+	return e.qos.Loss(finalIter), true
+}
+
 // Continue reports whether the loop body should run iteration i. In a
 // normal (non-monitored) execution it returns false as soon as the
 // approximation decides to terminate. In a monitored execution it always
 // returns true (the loop must run to its natural end so the precise QoS
 // is available) but records, via LoopQoS.Record, the QoS at the point the
 // approximation would have stopped — exactly the paper's "store the QoS
-// value and do not terminate the loop early" path.
+// value and do not terminate the loop early" path. On that monitored path
+// the user callbacks (Record, and Delta inside the stop decision) run
+// under recover: a panic is contained, counted as a failed observation,
+// and the execution completes precisely.
 func (e *LoopExec) Continue(i int) bool {
 	if e.monitor {
 		// Once the record point is captured there is nothing left to
 		// decide — the loop runs to its natural end regardless — so the
-		// remaining iterations skip the threshold/Delta computation.
-		if e.recorded {
+		// remaining iterations skip the threshold/Delta computation. A
+		// contained panic likewise stops further callback probing.
+		if e.recorded || e.panicked {
 			return true
 		}
-		if e.approxSaysStop(i) {
-			e.qos.Record(i)
-			e.recorded = true
-			e.wouldStop = i
+		if e.safeStop(i) {
+			if e.safeRecord(i) {
+				e.recorded = true
+				e.wouldStop = i
+			}
 		}
 		return true
 	}
@@ -442,6 +518,10 @@ type Result struct {
 	StoppedAt int
 	// Recalibrated is the recalibration action applied, if any.
 	Recalibrated Action
+	// ContainedPanic reports that a QoS callback panicked during this
+	// monitored execution; the panic was recovered, the observation
+	// discarded, and the failure charged to the circuit breaker.
+	ContainedPanic bool
 }
 
 // Finish completes the execution. finalIter is the iteration count the
@@ -467,11 +547,23 @@ func (e *LoopExec) Finish(finalIter int) Result {
 		return res
 	}
 	loss := 0.0
-	if e.recorded {
-		loss = e.qos.Loss(finalIter)
+	if e.recorded && !e.panicked {
+		loss, _ = e.safeLoss(finalIter)
 	}
+	panicked, probe, seq := e.panicked, e.probe, e.seq
 	res.Loss = loss
 	e.release()
+
+	if panicked {
+		// Failed observation: its loss value would be garbage, so it is
+		// discarded — not counted into the monitored statistics and not
+		// fed to the recalibration policy — and charged to the breaker.
+		res.Loss = 0
+		res.ContainedPanic = true
+		l.brk.onPanic(seq, probe)
+		return res
+	}
+	l.brk.onSuccess(probe)
 
 	l.monitored.Add(1)
 	l.loss.add(loss)

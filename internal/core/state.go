@@ -2,8 +2,8 @@ package core
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
+	"math"
 )
 
 // Controller state checkpointing: a service that restarts should resume
@@ -49,14 +49,45 @@ func (l *Loop) State() LoopState {
 	}
 }
 
+// finite reports a value that is neither NaN nor ±Inf. A snapshot taken
+// from a healthy process never contains non-finite numbers; one that does
+// is corrupt (or was produced by a run whose QoS callbacks were already
+// broken) and restoring it would poison the recalibration state.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // Restore applies a previously snapshotted state. The state must belong
-// to a loop with the same name.
+// to a loop with the same name, and every field must be plausible for
+// this loop's model: restore runs once at service start, so it rejects
+// loudly (descriptive errors) rather than limping along on poisoned
+// state.
 func (l *Loop) Restore(s LoopState) error {
 	if s.Name != l.cfg.Name {
 		return fmt.Errorf("core: state for %q cannot restore loop %q", s.Name, l.cfg.Name)
 	}
-	if s.Level <= 0 || s.Count < 0 || s.Monitored < 0 || s.Monitored > s.Count {
-		return errors.New("core: implausible loop state")
+	if !finite(s.Level) || s.Level <= 0 {
+		return fmt.Errorf("core: loop state: level %v outside (0, %v]", s.Level, l.cfg.Model.BaseLevel)
+	}
+	if s.Level > l.cfg.Model.BaseLevel {
+		return fmt.Errorf("core: loop state: level %v above the model's base level %v", s.Level, l.cfg.Model.BaseLevel)
+	}
+	if s.Interval < 0 {
+		return fmt.Errorf("core: loop state: negative sample interval %d", s.Interval)
+	}
+	if s.Count < 0 || s.Monitored < 0 {
+		return fmt.Errorf("core: loop state: negative counters (count=%d monitored=%d)", s.Count, s.Monitored)
+	}
+	if s.Monitored > s.Count {
+		return fmt.Errorf("core: loop state: monitored %d exceeds count %d", s.Monitored, s.Count)
+	}
+	if !finite(s.LossSum) || s.LossSum < 0 {
+		return fmt.Errorf("core: loop state: loss sum %v is not a finite non-negative number", s.LossSum)
+	}
+	if !finite(s.AdaptiveM) || !finite(s.AdaptivePer) || !finite(s.AdaptiveDelta) ||
+		s.AdaptiveM < 0 || s.AdaptivePer < 0 || s.AdaptiveDelta < 0 {
+		return fmt.Errorf("core: loop state: implausible adaptive parameters (M=%v Period=%v TargetDelta=%v)",
+			s.AdaptiveM, s.AdaptivePer, s.AdaptiveDelta)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -132,10 +163,23 @@ func (f *Func) Restore(s FuncState) error {
 		return fmt.Errorf("core: state for %q cannot restore func %q", s.Name, f.cfg.Name)
 	}
 	if s.Offset < -len(f.versions) || s.Offset > len(f.versions) {
-		return errors.New("core: offset outside the version ladder")
+		return fmt.Errorf("core: func state: offset %d outside the version ladder [%d, %d]",
+			s.Offset, -len(f.versions), len(f.versions))
 	}
-	if s.Count < 0 || s.Monitored < 0 || s.Monitored > s.Count || s.WorkMilli < 0 {
-		return errors.New("core: implausible func state")
+	if s.Interval < 0 {
+		return fmt.Errorf("core: func state: negative sample interval %d", s.Interval)
+	}
+	if s.Count < 0 || s.Monitored < 0 {
+		return fmt.Errorf("core: func state: negative counters (count=%d monitored=%d)", s.Count, s.Monitored)
+	}
+	if s.Monitored > s.Count {
+		return fmt.Errorf("core: func state: monitored %d exceeds count %d", s.Monitored, s.Count)
+	}
+	if !finite(s.LossSum) || s.LossSum < 0 {
+		return fmt.Errorf("core: func state: loss sum %v is not a finite non-negative number", s.LossSum)
+	}
+	if s.WorkMilli < 0 {
+		return fmt.Errorf("core: func state: negative accumulated work %d", s.WorkMilli)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -62,6 +64,93 @@ func TestLoopRestoreValidation(t *testing.T) {
 	}
 	if err := l.RestoreStateJSON([]byte("{")); err == nil {
 		t.Error("bad JSON accepted")
+	}
+}
+
+// TestLoopRestoreRejectsPoisonedState covers the crash-safety hardening:
+// a snapshot that survived a disk corruption or was written by a broken
+// QoS callback must be rejected with a descriptive error, never limped
+// along on.
+func TestLoopRestoreRejectsPoisonedState(t *testing.T) {
+	m := testLoopModel(t)
+	l, err := NewLoop(LoopConfig{Name: "a", Model: m, SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := LoopState{Name: "a", Level: 200, Interval: 10, Count: 50, Monitored: 5, LossSum: 0.2}
+	if err := l.Restore(valid); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*LoopState)
+		errWant string
+	}{
+		{"NaN level", func(s *LoopState) { s.Level = math.NaN() }, "level"},
+		{"Inf level", func(s *LoopState) { s.Level = math.Inf(1) }, "level"},
+		{"level above base", func(s *LoopState) { s.Level = m.BaseLevel + 1 }, "base level"},
+		{"negative interval", func(s *LoopState) { s.Interval = -1 }, "interval"},
+		{"negative count", func(s *LoopState) { s.Count = -1 }, "counters"},
+		{"negative monitored", func(s *LoopState) { s.Monitored = -1 }, "counters"},
+		{"NaN loss sum", func(s *LoopState) { s.LossSum = math.NaN() }, "loss sum"},
+		{"Inf loss sum", func(s *LoopState) { s.LossSum = math.Inf(1) }, "loss sum"},
+		{"negative loss sum", func(s *LoopState) { s.LossSum = -0.1 }, "loss sum"},
+		{"NaN adaptive period", func(s *LoopState) { s.AdaptivePer = math.NaN() }, "adaptive"},
+		{"negative adaptive delta", func(s *LoopState) { s.AdaptiveDelta = -1 }, "adaptive"},
+		{"Inf adaptive M", func(s *LoopState) { s.AdaptiveM = math.Inf(-1) }, "adaptive"},
+	}
+	for _, tc := range cases {
+		s := valid
+		tc.mutate(&s)
+		err := l.Restore(s)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errWant)
+		}
+	}
+	// The rejections must not have clobbered the live state.
+	if l.Level() != 200 {
+		t.Errorf("rejected restores mutated the level: %v", l.Level())
+	}
+}
+
+func TestFuncRestoreRejectsPoisonedState(t *testing.T) {
+	f := funcFixture(t, 0.05, 1)
+	valid := FuncState{Name: "sq", Offset: 1, Interval: 10, Count: 50, Monitored: 5, LossSum: 0.2, WorkMilli: 900}
+	if err := f.Restore(valid); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*FuncState)
+		errWant string
+	}{
+		{"negative interval", func(s *FuncState) { s.Interval = -1 }, "interval"},
+		{"negative count", func(s *FuncState) { s.Count = -1 }, "counters"},
+		{"monitored above count", func(s *FuncState) { s.Monitored = 51 }, "exceeds"},
+		{"NaN loss sum", func(s *FuncState) { s.LossSum = math.NaN() }, "loss sum"},
+		{"Inf loss sum", func(s *FuncState) { s.LossSum = math.Inf(1) }, "loss sum"},
+		{"negative loss sum", func(s *FuncState) { s.LossSum = -0.1 }, "loss sum"},
+		{"negative work", func(s *FuncState) { s.WorkMilli = -1 }, "work"},
+		{"offset below ladder", func(s *FuncState) { s.Offset = -3 }, "ladder"},
+	}
+	for _, tc := range cases {
+		s := valid
+		tc.mutate(&s)
+		err := f.Restore(s)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errWant)
+		}
+	}
+	if f.Offset() != 1 {
+		t.Errorf("rejected restores mutated the offset: %d", f.Offset())
 	}
 }
 

@@ -50,6 +50,10 @@ type Result struct {
 	// Sent is the number of requests issued; Completed those that got a
 	// response; Failed those with transport or HTTP errors.
 	Sent, Completed, Failed int
+	// Shed counts requests the service deliberately rejected with 503
+	// (its in-flight cap) — degraded-mode load shedding, distinct from a
+	// transport failure: the service answered, it just refused the work.
+	Shed int
 	// WithinDeadline counts completed requests meeting the Deadline.
 	WithinDeadline int
 	// P50, P95, P99 are latency percentiles of completed requests.
@@ -69,8 +73,8 @@ func (r Result) SuccessRate() float64 {
 
 // String renders a one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("sent=%d ok=%d fail=%d within-deadline=%.1f%% p50=%v p95=%v p99=%v achieved=%.1f qps",
-		r.Sent, r.Completed, r.Failed, 100*r.SuccessRate(), r.P50, r.P95, r.P99, r.AchievedQPS)
+	return fmt.Sprintf("sent=%d ok=%d shed=%d fail=%d within-deadline=%.1f%% p50=%v p95=%v p99=%v achieved=%.1f qps",
+		r.Sent, r.Completed, r.Shed, r.Failed, 100*r.SuccessRate(), r.P50, r.P95, r.P99, r.AchievedQPS)
 }
 
 // queryWords is the synthetic vocabulary the generator draws from.
@@ -149,11 +153,15 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			ok := doRequest(ctx, client, cfg.BaseURL, q)
+			outcome := doRequest(ctx, client, cfg.BaseURL, q)
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
-			if !ok {
+			switch outcome {
+			case reqShed:
+				res.Shed++
+				return
+			case reqFailed:
 				res.Failed++
 				return
 			}
@@ -201,17 +209,20 @@ func runClosed(ctx context.Context, cfg Config) (Result, error) {
 				q := queryWords[rng.Intn(len(queryWords))] + "+" +
 					queryWords[rng.Intn(len(queryWords))]
 				t0 := time.Now()
-				ok := doRequest(ctx, client, cfg.BaseURL, q)
+				outcome := doRequest(ctx, client, cfg.BaseURL, q)
 				lat := time.Since(t0)
 				mu.Lock()
 				res.Sent++
-				if ok {
+				switch outcome {
+				case reqOK:
 					res.Completed++
 					latencies = append(latencies, lat)
 					if lat <= cfg.Deadline {
 						res.WithinDeadline++
 					}
-				} else {
+				case reqShed:
+					res.Shed++
+				default:
 					res.Failed++
 				}
 				mu.Unlock()
@@ -227,19 +238,35 @@ func runClosed(ctx context.Context, cfg Config) (Result, error) {
 	return res, nil
 }
 
-func doRequest(ctx context.Context, client *http.Client, base, q string) bool {
+// reqOutcome classifies one request.
+type reqOutcome int
+
+const (
+	reqOK reqOutcome = iota
+	reqShed
+	reqFailed
+)
+
+func doRequest(ctx context.Context, client *http.Client, base, q string) reqOutcome {
 	u := base + "/search?q=" + url.QueryEscape(q)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return false
+		return reqFailed
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return reqFailed
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return reqOK
+	case http.StatusServiceUnavailable:
+		return reqShed
+	default:
+		return reqFailed
+	}
 }
 
 func percentiles(lats []time.Duration) (p50, p95, p99 time.Duration) {

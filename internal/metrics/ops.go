@@ -1,0 +1,48 @@
+package metrics
+
+import "sync/atomic"
+
+// Operational-health counters for the serving layer. Where the rest of
+// this package measures the *quality* dimension of the SLA (QoS loss),
+// OpsCounters measures the *availability* dimension the resilience
+// layer adds: requests shed instead of queued, requests served degraded
+// at their deadline, snapshot persistence health, and rejected state
+// restores. The counters are plain atomics so the serving hot path pays
+// one uncontended add per event, and a Snapshot is safe to take from
+// any goroutine.
+type OpsCounters struct {
+	// Shed counts requests rejected by the in-flight cap (503 +
+	// Retry-After).
+	Shed atomic.Int64
+	// DeadlinePartial counts requests whose scan was cut short at the
+	// request deadline and served from partial results.
+	DeadlinePartial atomic.Int64
+	// SnapshotSaves counts successful state snapshots.
+	SnapshotSaves atomic.Int64
+	// SnapshotErrors counts failed snapshot writes.
+	SnapshotErrors atomic.Int64
+	// RestoreRejected counts startup snapshots rejected as corrupt,
+	// foreign, or implausible.
+	RestoreRejected atomic.Int64
+}
+
+// OpsSnapshot is a point-in-time copy of OpsCounters, shaped for JSON
+// surfaces like /stats.
+type OpsSnapshot struct {
+	Shed            int64 `json:"shed"`
+	DeadlinePartial int64 `json:"deadline_partial"`
+	SnapshotSaves   int64 `json:"snapshot_saves"`
+	SnapshotErrors  int64 `json:"snapshot_errors"`
+	RestoreRejected int64 `json:"restore_rejected"`
+}
+
+// Snapshot copies the counters.
+func (c *OpsCounters) Snapshot() OpsSnapshot {
+	return OpsSnapshot{
+		Shed:            c.Shed.Load(),
+		DeadlinePartial: c.DeadlinePartial.Load(),
+		SnapshotSaves:   c.SnapshotSaves.Load(),
+		SnapshotErrors:  c.SnapshotErrors.Load(),
+		RestoreRejected: c.RestoreRejected.Load(),
+	}
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestOpsSnapshot(t *testing.T) {
+	var c OpsCounters
+	c.Shed.Add(3)
+	c.DeadlinePartial.Add(2)
+	c.SnapshotSaves.Add(5)
+	c.SnapshotErrors.Add(1)
+	c.RestoreRejected.Add(1)
+	s := c.Snapshot()
+	if s.Shed != 3 || s.DeadlinePartial != 2 || s.SnapshotSaves != 5 ||
+		s.SnapshotErrors != 1 || s.RestoreRejected != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["shed"] != 3 || decoded["restore_rejected"] != 1 {
+		t.Errorf("JSON shape = %s", data)
+	}
+}
+
+func TestOpsCountersConcurrent(t *testing.T) {
+	var c OpsCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Shed.Add(1)
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Shed; got != 8000 {
+		t.Errorf("shed = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,232 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"level":420,"count":7}`)
+	if err := s.Save("serve.match", "sig-1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("serve.match", "sig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %s, want %s", got, payload)
+	}
+	// Overwrite is atomic and versioned the same way.
+	payload2 := []byte(`{"level":500,"count":9}`)
+	if err := s.Save("serve.match", "sig-1", payload2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load("serve.match", "sig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload2) {
+		t.Errorf("payload after overwrite = %s", got)
+	}
+}
+
+func TestLoadMissingIsNotExist(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Load("nope", "")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing snapshot error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsCorruptPayload(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("x", "", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the envelope on disk.
+	path := s.Path("x")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(data), `{"a":1}`, `{"a":7}`, 1)
+	if corrupted == string(data) {
+		t.Fatal("test could not locate payload to corrupt")
+	}
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("x", ""); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("checksum mismatch error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadRejectsTornWrite(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("x", "", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.Path("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path("x"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("x", ""); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("torn-write error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadRejectsForeignModel(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("x", "model-A", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("x", "model-B"); !errors.Is(err, ErrForeignModel) {
+		t.Errorf("foreign model error = %v, want ErrForeignModel", err)
+	}
+	// Empty controller signature skips the binding (tooling that just
+	// wants the bytes).
+	if _, err := s.Load("x", ""); err != nil {
+		t.Errorf("unbound load failed: %v", err)
+	}
+}
+
+func TestLoadRejectsUnsupportedVersion(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("x", "", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	data, _ := os.ReadFile(s.Path("x"))
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["version"] = 99
+	data, _ = json.Marshal(env)
+	if err := os.WriteFile(s.Path("x"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("x", ""); !errors.Is(err, ErrVersion) {
+		t.Errorf("version error = %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadRejectsNameMismatch(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a/b" and "a\b" sanitize to the same file stem; the envelope name
+	// check catches the collision instead of serving one unit's state to
+	// the other.
+	if err := s.Save("a/b", "", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(`a\b`, ""); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("name mismatch error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveLeavesNoTempFilesBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Save("x", "", []byte(`{"i":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("state dir has %d entries, want 1: %v", len(entries), names)
+	}
+}
+
+func TestSanitizeKeepsPathsInsideDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hostile := range []string{"../../etc/passwd", "a/b/c", "", "..", "\\windows"} {
+		p := s.Path(hostile)
+		rel, err := filepath.Rel(dir, p)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("Path(%q) = %q escapes the state dir", hostile, p)
+		}
+	}
+}
+
+func TestSignatureStableAndDiscriminating(t *testing.T) {
+	type modelish struct {
+		Levels []float64
+		SLA    float64
+	}
+	a1, err := Signature(modelish{Levels: []float64{1, 2}, SLA: 0.02}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Signature(modelish{Levels: []float64{1, 2}, SLA: 0.02}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("signature unstable for identical inputs")
+	}
+	b, err := Signature(modelish{Levels: []float64{1, 2}, SLA: 0.03}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == b {
+		t.Error("signature identical across different SLAs")
+	}
+	c, err := Signature(modelish{Levels: []float64{1, 2}, SLA: 0.02}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == c {
+		t.Error("signature identical across different seeds")
+	}
+}

@@ -9,26 +9,46 @@
 //	                        loop controller
 //	GET /stats              runtime counters: queries, monitored queries,
 //	                        mean monitored QoS loss, current M, documents
-//	                        scored vs the precise engine
+//	                        scored vs the precise engine, and the
+//	                        resilience state (breaker, shedding, snapshots)
 //	GET /config             the active SLA and model parameters
-//	GET /healthz            liveness probe
+//	GET /healthz            liveness probe: the process is up
+//	GET /readyz             readiness probe: the service is serving at
+//	                        full quality (503 while degraded: breaker
+//	                        open or shedding)
+//
+// The serving path degrades instead of dying: requests beyond the
+// in-flight cap are shed with 503 + Retry-After, requests that hit
+// their deadline return the partial results scored so far, QoS-callback
+// panics are contained by the controller's circuit breaker
+// (internal/core/resilience.go), and the controller state is
+// periodically persisted crash-safely (internal/persist) so a restart
+// resumes recalibration instead of starting cold.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"green/internal/chaos"
 	"green/internal/core"
 	"green/internal/metrics"
+	"green/internal/persist"
 	"green/internal/search"
 	"green/internal/workload"
 )
+
+// snapshotName keys the loop controller's snapshot in the state store.
+const snapshotName = "serve.match"
 
 // Config configures the service.
 type Config struct {
@@ -53,6 +73,32 @@ type Config struct {
 	// loop controller is still installed, but QoS_Approx always answers
 	// "do not approximate".
 	Disabled bool
+
+	// MaxInFlight caps concurrently served /search requests; excess
+	// requests are shed with 503 + Retry-After rather than queued
+	// unboundedly. Zero means 128; negative disables the cap.
+	MaxInFlight int
+	// RequestTimeout bounds one /search request; at the deadline the
+	// scan stops and the partial results scored so far are served
+	// (degraded), rather than the request queuing forever. Zero means
+	// 2s; negative disables the deadline.
+	RequestTimeout time.Duration
+	// StateDir, when non-empty, enables crash-safe persistence of the
+	// controller state: a validated snapshot is restored at startup and
+	// snapshots are written every SnapshotInterval and on SaveState.
+	StateDir string
+	// SnapshotInterval is the period of the background snapshot loop
+	// (default 5s).
+	SnapshotInterval time.Duration
+	// BreakerThreshold / BreakerCooldown tune the controller's panic
+	// circuit breaker (see core.LoopConfig); zeros take the core
+	// defaults.
+	BreakerThreshold int
+	BreakerCooldown  int
+	// Chaos, when non-nil, injects deterministic faults into the QoS
+	// callbacks (the fault-injection harness; tests and the chaos-smoke
+	// CI stage).
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleInterval == 0 {
 		c.SampleInterval = 10000
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 128
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Second
 	}
 	return c
 }
@@ -84,10 +139,18 @@ type Server struct {
 	// never pays for an extra full scan just to compute statistics.
 	monitoredFullDocs atomic.Int64
 	monitoredQueries  atomic.Int64
+
+	// Resilience state.
+	inFlight    atomic.Int64
+	ops         metrics.OpsCounters
+	store       *persist.Store
+	modelSig    string
+	restoreNote string // "disabled" | "cold" | "restored" | "rejected: …"
 }
 
-// New builds the corpus, runs the calibration phase, and constructs the
-// operational loop controller.
+// New builds the corpus, runs the calibration phase, constructs the
+// operational loop controller, and — when a state directory is
+// configured — restores the most recent valid controller snapshot.
 func New(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
 	if c.SLA < 0 || c.SLA >= 1 {
@@ -97,7 +160,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: c, engine: engine}
+	s := &Server{cfg: c, engine: engine, restoreNote: "disabled"}
 
 	// Calibration phase.
 	calQueries, err := engine.GenerateQueries(workload.Split(c.Seed, 1), c.CalibrationQueries)
@@ -106,7 +169,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	knots := []float64{100, 250, 500, 1000, 2500, 5000, 10000}
 	baseLevel := float64(engine.Docs())
-	cal, err := core.NewLoopCalibration("serve.match", knots, baseLevel, baseLevel)
+	cal, err := core.NewLoopCalibration(snapshotName, knots, baseLevel, baseLevel)
 	if err != nil {
 		return nil, err
 	}
@@ -128,17 +191,105 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.loop, err = core.NewLoop(core.LoopConfig{
-		Name: "serve.match", Model: m, SLA: c.SLA,
+		Name: snapshotName, Model: m, SLA: c.SLA,
 		SampleInterval: c.SampleInterval,
 		Policy: &core.WindowedPolicy{
 			Window: 100, BaseInterval: c.SampleInterval,
 		},
-		Disabled: c.Disabled,
+		Disabled:         c.Disabled,
+		BreakerThreshold: c.BreakerThreshold,
+		BreakerCooldown:  c.BreakerCooldown,
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	if c.StateDir != "" {
+		if err := s.openStateAndRestore(m); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openStateAndRestore opens the state store and applies the persisted
+// snapshot if one exists and survives validation. Restore failures are
+// *recorded*, never fatal: a service must come up (cold) from any
+// on-disk state, including a corrupted or foreign snapshot.
+func (s *Server) openStateAndRestore(m any) error {
+	store, err := persist.Open(s.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	// The signature binds snapshots to the exact calibration and serving
+	// configuration: a different corpus seed, size, SLA, or page size
+	// invalidates the persisted levels.
+	sig, err := persist.Signature(m, s.cfg.SLA, s.cfg.Seed, s.engine.Docs(), s.cfg.TopN)
+	if err != nil {
+		return err
+	}
+	s.store, s.modelSig = store, sig
+	switch data, err := store.Load(snapshotName, sig); {
+	case err == nil:
+		if rerr := s.loop.RestoreStateJSON(data); rerr != nil {
+			s.ops.RestoreRejected.Add(1)
+			s.restoreNote = "rejected: " + rerr.Error()
+		} else {
+			s.restoreNote = "restored"
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		s.restoreNote = "cold"
+	default:
+		// Corrupt, torn, foreign, or wrong-version snapshot: start cold.
+		s.ops.RestoreRejected.Add(1)
+		s.restoreNote = "rejected: " + err.Error()
+	}
+	return nil
+}
+
+// RestoreNote reports what happened to the persisted state at startup.
+func (s *Server) RestoreNote() string { return s.restoreNote }
+
+// SaveState writes one crash-safe snapshot of the controller state now.
+// A no-op without a state directory.
+func (s *Server) SaveState() error {
+	if s.store == nil {
+		return nil
+	}
+	data, err := s.loop.MarshalState()
+	if err == nil {
+		err = s.store.Save(snapshotName, s.modelSig, data)
+	}
+	if err != nil {
+		s.ops.SnapshotErrors.Add(1)
+		return err
+	}
+	s.ops.SnapshotSaves.Add(1)
+	return nil
+}
+
+// StartSnapshotLoop launches the periodic background snapshot writer
+// and returns a stop function (idempotent). Stopping does not write a
+// final snapshot; call SaveState at shutdown for that.
+func (s *Server) StartSnapshotLoop() (stop func()) {
+	if s.store == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(s.cfg.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = s.SaveState() // failures are counted in ops
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // termsOf maps query words onto the synthetic vocabulary by hashing —
@@ -181,6 +332,10 @@ type searchResponse struct {
 	DocsScored    int    `json:"docs_scored"`
 	Approximated  bool   `json:"approximated"`
 	MonitoredScan bool   `json:"monitored"`
+	// Degraded marks a response whose scan was cut short at the request
+	// deadline: the results are the best scored so far, not the
+	// controller's chosen approximation level.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // statsResponse is the /stats JSON shape.
@@ -192,6 +347,16 @@ type statsResponse struct {
 	DocsScored        int64   `json:"docs_scored"`
 	DocsPrecise       int64   `json:"docs_precise_equivalent"`
 	WorkSavedFraction float64 `json:"work_saved_fraction"`
+
+	// Resilience surface.
+	Degraded        bool                `json:"degraded"`
+	DegradedReasons []string            `json:"degraded_reasons,omitempty"`
+	BreakerState    string              `json:"breaker_state"`
+	BreakerTrips    int64               `json:"breaker_trips"`
+	ContainedPanics int64               `json:"contained_panics"`
+	InFlight        int64               `json:"in_flight"`
+	Restore         string              `json:"restore"`
+	Ops             metrics.OpsSnapshot `json:"ops"`
 }
 
 // configResponse is the /config JSON shape.
@@ -201,25 +366,90 @@ type configResponse struct {
 	SampleInterval int     `json:"sample_interval"`
 	CorpusDocs     int     `json:"corpus_docs"`
 	InitialM       float64 `json:"initial_m"`
+	MaxInFlight    int     `json:"max_in_flight"`
+	RequestTimeout string  `json:"request_timeout"`
+	StateDir       string  `json:"state_dir,omitempty"`
+}
+
+// readyzResponse is the /readyz JSON shape.
+type readyzResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
 }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and the mux is serving. A
+		// degraded service is still alive — restarting it would not help
+		// — so /healthz stays 200 while /readyz goes 503.
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /search", s.withResilience(s.handleSearch))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /config", s.handleConfig)
 	return mux
 }
 
-// serveQuery runs one query under the loop controller.
-func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
+// withResilience wraps a handler with the degraded-mode serving layer:
+// the in-flight cap (shed with 503 + Retry-After instead of queuing
+// unboundedly) and the per-request deadline.
+func (s *Server) withResilience(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.MaxInFlight > 0 {
+			if s.inFlight.Add(1) > int64(s.cfg.MaxInFlight) {
+				s.inFlight.Add(-1)
+				s.ops.Shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "overloaded: request shed", http.StatusServiceUnavailable)
+				return
+			}
+			defer s.inFlight.Add(-1)
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// degradedReasons reports why the service is not at full quality (empty
+// when it is).
+func (s *Server) degradedReasons() []string {
+	var reasons []string
+	if b := s.loop.Breaker(); b.State != core.BreakerClosed {
+		reasons = append(reasons, "breaker-"+b.State.String())
+	}
+	if s.cfg.MaxInFlight > 0 && s.inFlight.Load() >= int64(s.cfg.MaxInFlight) {
+		reasons = append(reasons, "shedding")
+	}
+	return reasons
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	reasons := s.degradedReasons()
+	resp := readyzResponse{Ready: len(reasons) == 0, Reasons: reasons}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// serveQuery runs one query under the loop controller, honoring the
+// request context: if the deadline expires mid-scan the partial
+// results scored so far are returned, marked degraded.
+func (s *Server) serveQuery(ctx context.Context, q search.Query) (*searchResponse, error) {
 	qos := serveQoSPool.Get().(*serveQoS)
 	qos.engine, qos.query, qos.topN = s.engine, q, s.cfg.TopN
+	qos.chaos = s.cfg.Chaos
 	exec, err := s.loop.Begin(qos)
 	if err != nil {
 		qos.release()
@@ -227,16 +457,27 @@ func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
 	}
 	scan := s.engine.NewScan(q, s.cfg.TopN)
 	i := 0
-	for exec.Continue(i) && scan.Step() {
+	// An already-expired deadline still serves (an empty page beats an
+	// error); mid-scan, the deadline check is amortized over 64 scored
+	// documents so the fast path stays a couple of instructions per
+	// iteration.
+	degraded := ctx.Err() != nil
+	for !degraded && exec.Continue(i) && scan.Step() {
 		i++
+		if i&0x3f == 0 && ctx.Err() != nil {
+			degraded = true
+		}
 	}
 	// Finish is the controller's last use of qos (Loss runs inside it),
 	// so the adapter can be recycled right after.
 	res := exec.Finish(i)
 	qos.release()
+	if degraded {
+		s.ops.DeadlinePartial.Add(1)
+	}
 	s.queries.Add(1)
 	s.docsScored.Add(int64(scan.Processed()))
-	if res.Monitored {
+	if res.Monitored && !res.ContainedPanic && !degraded {
 		s.monitoredFullDocs.Add(int64(scan.Processed()))
 		s.monitoredQueries.Add(1)
 	}
@@ -245,6 +486,7 @@ func (s *Server) serveQuery(q search.Query) (*searchResponse, error) {
 		DocsScored:    scan.Processed(),
 		Approximated:  res.Approximated,
 		MonitoredScan: res.Monitored,
+		Degraded:      degraded,
 	}, nil
 }
 
@@ -257,7 +499,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	terms := s.termsOf(qstr)
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "or":
-		resp, err := s.serveQuery(search.Query{Terms: terms})
+		resp, err := s.serveQuery(r.Context(), search.Query{Terms: terms})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -293,6 +535,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			saved = 0
 		}
 	}
+	reasons := s.degradedReasons()
+	brk := s.loop.Breaker()
 	writeJSON(w, statsResponse{
 		Queries:           execs,
 		Monitored:         monitored,
@@ -301,6 +545,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DocsScored:        scored,
 		DocsPrecise:       precise,
 		WorkSavedFraction: saved,
+		Degraded:          len(reasons) > 0,
+		DegradedReasons:   reasons,
+		BreakerState:      brk.State.String(),
+		BreakerTrips:      brk.Trips,
+		ContainedPanics:   brk.ContainedPanics,
+		InFlight:          s.inFlight.Load(),
+		Restore:           s.restoreNote,
+		Ops:               s.ops.Snapshot(),
 	})
 }
 
@@ -311,6 +563,9 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		SampleInterval: s.cfg.SampleInterval,
 		CorpusDocs:     s.engine.Docs(),
 		InitialM:       s.loop.Level(),
+		MaxInFlight:    s.cfg.MaxInFlight,
+		RequestTimeout: s.cfg.RequestTimeout.String(),
+		StateDir:       s.cfg.StateDir,
 	})
 }
 
@@ -327,13 +582,20 @@ func (s *Server) Loop() *core.Loop { return s.loop }
 // Engine exposes the search engine, for tests.
 func (s *Server) Engine() *search.Engine { return s.engine }
 
+// Ops exposes the operational counters, for tooling and tests.
+func (s *Server) Ops() *metrics.OpsCounters { return &s.ops }
+
 // serveQoS adapts a served query to core.LoopQoS. Adapters are pooled so
-// the per-query fast path allocates nothing beyond the scan itself.
+// the per-query fast path allocates nothing beyond the scan itself. The
+// chaos injector hooks live here: the QoS callbacks are exactly the
+// user-code surface the controller's panic containment guards, so this
+// is where the fault-injection harness aims.
 type serveQoS struct {
 	engine   *search.Engine
 	query    search.Query
 	topN     int
 	recorded []int
+	chaos    *chaos.Injector
 }
 
 var serveQoSPool = sync.Pool{New: func() any { return new(serveQoS) }}
@@ -344,10 +606,14 @@ func (q *serveQoS) release() {
 }
 
 func (q *serveQoS) Record(iter int) {
+	q.chaos.MaybeDelay("qos.record")
+	q.chaos.MaybePanic("qos.record")
 	q.recorded, _ = q.engine.Search(q.query, q.topN, iter)
 }
 
 func (q *serveQoS) Loss(int) float64 {
+	q.chaos.MaybeDelay("qos.loss")
+	q.chaos.MaybePanic("qos.loss")
 	precise, _ := q.engine.Search(q.query, q.topN, 0)
 	return metrics.QueryLoss(precise, q.recorded)
 }

@@ -34,7 +34,15 @@ go test -run '^$' -fuzz FuzzAnalyzers -fuzztime 10s ./internal/lint
 
 echo "== race (concurrency-sensitive packages) =="
 go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search \
-	./internal/metrics ./internal/taskgraph .
+	./internal/metrics ./internal/taskgraph ./internal/chaos ./internal/persist .
+
+echo "== chaos smoke =="
+# A short seeded fault-injection run under the race detector: injected
+# QoS-callback panics, latency spikes, load shedding, and a corrupted
+# snapshot restart, asserting the service stays available and the
+# monitored loss re-converges. Deterministic seeds make a failure here
+# reproducible locally with the same command.
+go test -race -count 1 -run TestChaosServiceSurvivesAndRecovers ./internal/serve
 
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 1x ./... > /dev/null
