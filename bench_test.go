@@ -560,6 +560,69 @@ func BenchmarkLoopHotPath(b *testing.B) {
 	})
 }
 
+// hotFunc2Fixture builds a two-parameter function controller whose grid
+// model always qualifies the cheap version, so the steady-state Call
+// path is pure controller overhead.
+func hotFunc2Fixture(b *testing.B, sampleInterval int) *green.Func2 {
+	b.Helper()
+	grid := green.Grid2D{XLo: 0, XHi: 10, YLo: 0, YHi: 10, NX: 4, NY: 4}
+	cal, err := green.NewCalibration2D("hot2d", 18, []string{"v0", "v1"},
+		[]float64{4, 8}, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for x := 0.5; x < 10; x++ {
+		for y := 0.5; y < 10; y++ {
+			if err := cal.AddSample(0, x, y, 0.10); err != nil {
+				b.Fatal(err)
+			}
+			if err := cal.AddSample(1, x, y, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	m, err := cal.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	precise := func(x, y float64) float64 { return x * y }
+	v0 := func(x, y float64) float64 { return x * y * 1.10 }
+	v1 := func(x, y float64) float64 { return x * y * 1.01 }
+	f, err := green.NewFunc2(green.Func2Config{
+		Name: "hot2d", Model: m, SLA: 0.02, SampleInterval: sampleInterval,
+	}, precise, []green.Fn2{v0, v1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkFunc2HotPath measures the two-parameter controller's Call
+// overhead — after the generic-controller unification it shares the
+// same lock-free hot path as Loop, with the same 0 allocs/op target.
+func BenchmarkFunc2HotPath(b *testing.B) {
+	b.Run("steady", func(b *testing.B) {
+		f := hotFunc2Fixture(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += f.Call(3, 4)
+		}
+		_ = sink
+	})
+	b.Run("monitored1k", func(b *testing.B) {
+		f := hotFunc2Fixture(b, 1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += f.Call(3, 4)
+		}
+		_ = sink
+	})
+}
+
 // BenchmarkLoopHotPathParallel hammers one shared Loop from g goroutines,
 // the contention shape of a serving deployment.
 func BenchmarkLoopHotPathParallel(b *testing.B) {

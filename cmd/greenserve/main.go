@@ -33,10 +33,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		sla       = flag.Float64("sla", 0.02, "fraction of queries allowed a changed result page")
-		seed      = flag.Int64("seed", 42, "corpus seed")
-		saveIndex = flag.String("save-index", "", "build the corpus, write the index here, and exit")
+		addr       = flag.String("addr", ":8080", "listen address")
+		sla        = flag.Float64("sla", 0.02, "fraction of queries allowed a changed result page")
+		seed       = flag.Int64("seed", 42, "corpus seed")
+		saveIndex  = flag.String("save-index", "", "build the corpus, write the index here, and exit")
+		docs       = flag.Int("docs", 0, "synthetic corpus size (0 uses the default)")
+		calQueries = flag.Int("cal-queries", 0, "calibration query count (0 uses the default)")
+		approxAnd  = flag.Bool("approx-and", false, "approximate mode=and queries under a second registered controller")
 
 		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller snapshots (empty disables persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Second, "background snapshot period")
@@ -82,17 +85,24 @@ func main() {
 	log.Printf("building corpus and calibrating (seed %d)...", *seed)
 	s, err := serve.New(serve.Config{
 		SLA: *sla, Seed: *seed,
-		StateDir:         *stateDir,
-		SnapshotInterval: *snapInterval,
-		MaxInFlight:      *maxInFlight,
-		RequestTimeout:   *reqTimeout,
-		Chaos:            inj,
+		CorpusDocs:         *docs,
+		CalibrationQueries: *calQueries,
+		ApproxAnd:          *approxAnd,
+		StateDir:           *stateDir,
+		SnapshotInterval:   *snapInterval,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *reqTimeout,
+		Chaos:              inj,
 	})
 	if err != nil {
 		log.Fatalf("greenserve: %v", err)
 	}
 	log.Printf("calibrated: SLA %.2f%% -> initial M = %.0f documents",
 		*sla*100, s.Loop().Level())
+	for _, c := range s.Registry().Controllers() {
+		log.Printf("controller %q: level %.0f, approx enabled %v",
+			c.Name(), c.Level(), c.ApproxEnabled())
+	}
 	if *stateDir != "" {
 		log.Printf("state: %s (%s)", *stateDir, s.RestoreNote())
 	}

@@ -176,11 +176,26 @@ type (
 	// EventFunc receives monitoring events via LoopConfig.OnEvent /
 	// FuncConfig.OnEvent.
 	EventFunc = core.EventFunc
-	// LoopState / FuncState snapshot controller runtime state for
-	// checkpoint/restore across service restarts.
+	// LoopState / FuncState / Func2State snapshot controller runtime
+	// state for checkpoint/restore across service restarts.
 	LoopState = core.LoopState
 	// FuncState is the function controller's serializable state.
 	FuncState = core.FuncState
+	// Func2State is the two-parameter controller's serializable state.
+	Func2State = core.Func2State
+
+	// Controller is the uniform operational surface every controller
+	// kind (Loop, Func, Func2) exposes: identity, stats, the scalar
+	// approximation level, breaker health, and state checkpointing.
+	Controller = core.Controller
+	// Registry is a named collection of controllers: a process registers
+	// every approximation site it hosts, and serving/persistence/metrics
+	// layers enumerate the registry uniformly. One Registry snapshot
+	// bundle round-trips all registered controllers.
+	Registry = core.Registry
+	// RestoreReport records per-controller outcomes of a bundled restore
+	// ("restored", "cold", or "rejected: <why>").
+	RestoreReport = core.RestoreReport
 
 	// LoopModel is the QoS model of one loop (levels -> loss, work).
 	LoopModel = model.LoopModel
@@ -270,6 +285,9 @@ func NewFunc2(cfg Func2Config, precise Fn2, approx []Fn2) (*Func2, error) {
 func NewSiteSet(cfg FuncConfig, precise Fn, approx []Fn) (*SiteSet, error) {
 	return core.NewSiteSet(cfg, precise, approx)
 }
+
+// NewRegistry creates an empty controller registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
 
 // NewCalibration2D prepares two-parameter calibration over the grid.
 func NewCalibration2D(name string, preciseWork float64, names []string, work []float64, grid Grid2D) (*Calibration2D, error) {

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The generic controller runtime.
+//
+// The paper's operational phase (§2.2.3) is one control law regardless of
+// what is being approximated: count executions, monitor every
+// Sample_QoS-th one, measure its QoS loss, feed the recalibration policy,
+// and move the approximation level by the policy's decision. Loop, Func,
+// and Func2 each add only (a) the shape of their immutable approximation
+// snapshot and (b) how a policy action translates into that snapshot.
+// Everything else — the execution/monitored counters, the striped loss
+// accumulator, the sampling decision, the panic breaker, policy
+// invocation and event emission, Stats, and the copy-on-write publish
+// protocol — lives here, once, as controller[S].
+//
+// S is the controller's immutable snapshot type (loopState, funcState,
+// func2State). The hot path reads it with one atomic load; every
+// mutation copies the current snapshot under mu, edits the copy, and
+// publishes it atomically, so non-monitored executions never take a
+// lock.
+
+// ctrlOptions are the configuration fields every controller kind shares;
+// each concrete config struct maps onto it in its constructor.
+type ctrlOptions struct {
+	Name             string
+	SLA              float64
+	SampleInterval   int
+	Policy           RecalibratePolicy
+	OnEvent          EventFunc
+	BreakerThreshold int
+	BreakerCooldown  int
+}
+
+// controller is the generic operational-phase runtime shared by Loop,
+// Func, and Func2 (embedded by pointer-receiver methods; the containing
+// structs must not be copied — greenlint's ctrlcopy check enforces
+// this).
+type controller[S any] struct {
+	name    string
+	sla     float64
+	onEvent EventFunc
+
+	// state is the immutable snapshot of the controller's mutable
+	// approximation parameters, read with a single atomic load on the
+	// hot path and replaced copy-on-write under mu.
+	state atomic.Pointer[S]
+
+	// interval is the paper's Sample_QoS, kept out of the snapshot so
+	// the shared sampling decision needs no knowledge of S. Zero
+	// disables monitoring.
+	interval  atomic.Int64
+	count     atomic.Int64 // executions since creation (or restore)
+	monitored atomic.Int64
+	loss      lossAccumulator
+	brk       *breaker
+
+	mu     sync.Mutex // serializes snapshot rebuilds and the policy
+	policy RecalibratePolicy
+}
+
+// init validates the shared configuration and wires the runtime. kind
+// ("loop", "func", "func2") prefixes rejection messages so each
+// controller keeps its established error text.
+func (c *controller[S]) init(kind string, o ctrlOptions) error {
+	if o.SLA <= 0 || o.SLA > 1 {
+		return fmt.Errorf("core: %s %q: SLA %v outside (0,1]", kind, o.Name, o.SLA)
+	}
+	if o.SampleInterval < 0 {
+		return fmt.Errorf("core: %s %q: negative SampleInterval %d", kind, o.Name, o.SampleInterval)
+	}
+	c.name = o.Name
+	c.sla = o.SLA
+	c.onEvent = o.OnEvent
+	c.policy = o.Policy
+	if c.policy == nil {
+		c.policy = DefaultPolicy{}
+	}
+	c.interval.Store(int64(o.SampleInterval))
+	c.brk = newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.SampleInterval)
+	return nil
+}
+
+// obs is the per-execution observation decision beginObservation makes:
+// the execution's sequence number, whether it is monitored, whether the
+// breaker forces it precise, and whether it is the breaker's half-open
+// probe.
+type obs struct {
+	seq     int64
+	monitor bool
+	forced  bool
+	probe   bool
+}
+
+// beginObservation runs the shared per-execution protocol: advance the
+// execution counter, decide whether this execution is monitored
+// (count % Sample_QoS == 0), and consult the breaker. A forced-precise
+// execution has monitoring suspended (the faulty callbacks must stop
+// running); a half-open probe is forced monitored. Lock-free.
+func (c *controller[S]) beginObservation() obs {
+	n := c.count.Add(1)
+	iv := c.interval.Load()
+	o := obs{seq: n, monitor: iv > 0 && n%iv == 0}
+	o.forced, o.probe = c.brk.observeBegin(n)
+	if o.forced {
+		o.monitor = false
+	}
+	if o.probe {
+		o.monitor = true
+	}
+	return o
+}
+
+// finishObservation completes one monitored execution. A contained panic
+// is a failed observation: its loss value would be garbage, so it is
+// discarded — never counted into the monitored statistics, never fed to
+// the policy — and charged to the breaker. A clean observation updates
+// the counters, feeds the policy, and applies its decision copy-on-write:
+// apply translates the policy action into snapshot changes and returns
+// the post-action approximation level for the event, which fires outside
+// the lock. Returns the action taken (ActNone for failed observations).
+func (c *controller[S]) finishObservation(o obs, loss float64, panicked bool, apply func(*S, Action) float64) Action {
+	if panicked {
+		c.brk.onPanic(o.seq, o.probe)
+		return ActNone
+	}
+	c.brk.onSuccess(o.probe)
+
+	c.monitored.Add(1)
+	c.loss.add(loss)
+
+	c.mu.Lock()
+	d := c.policy.Observe(loss, c.sla)
+	if d.NewSampleInterval > 0 {
+		c.interval.Store(int64(d.NewSampleInterval))
+	}
+	next := *c.state.Load()
+	level := apply(&next, d.Action)
+	c.state.Store(&next)
+	c.mu.Unlock()
+
+	if c.onEvent != nil {
+		c.onEvent(Event{
+			Unit: c.name, Loss: loss, SLA: c.sla,
+			Action: d.Action, Level: level,
+		})
+	}
+	return d.Action
+}
+
+// mutate rebuilds the published snapshot under the lock (copy-on-write).
+func (c *controller[S]) mutate(fn func(*S)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := *c.state.Load()
+	fn(&next)
+	c.state.Store(&next)
+}
+
+// setInterval overrides the sampling interval (tests and tools).
+func (c *controller[S]) setInterval(n int64) {
+	c.interval.Store(n)
+}
+
+// restoreCounters installs the shared counter fields of a validated
+// snapshot and publishes the edited approximation state, all under the
+// lock so restore is atomic with respect to recalibration.
+func (c *controller[S]) restoreCounters(interval, count, monitored int64, lossSum float64, edit func(*S)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := *c.state.Load()
+	edit(&next)
+	c.state.Store(&next)
+	c.interval.Store(interval)
+	c.count.Store(count)
+	c.monitored.Store(monitored)
+	c.loss.set(lossSum)
+}
+
+// Name returns the configured controller name.
+func (c *controller[S]) Name() string { return c.name }
+
+// SLA returns the configured QoS service-level agreement.
+func (c *controller[S]) SLA() float64 { return c.sla }
+
+// Stats reports runtime counters: executions, monitored executions, and
+// the mean observed loss over monitored executions. It reads only atomic
+// counters, so it never blocks — or is blocked by — executions in
+// flight.
+func (c *controller[S]) Stats() (executions, monitored int64, meanLoss float64) {
+	executions = c.count.Load()
+	monitored = c.monitored.Load()
+	if monitored > 0 {
+		meanLoss = c.loss.sum() / float64(monitored)
+	}
+	return executions, monitored, meanLoss
+}
+
+// Breaker snapshots the controller's circuit-breaker state (panic
+// containment on the monitored path; see resilience.go).
+func (c *controller[S]) Breaker() BreakerStats { return c.brk.stats() }
+
+// lossStripes sizes the striped loss accumulator: enough cells that
+// concurrent monitored completions rarely collide on one CAS, few enough
+// that Stats' read-side sum stays trivial.
+const lossStripes = 8
+
+// paddedFloat is one accumulator cell, padded out to a cache line so
+// adjacent stripes do not false-share.
+type paddedFloat struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// lossAccumulator sums float64 losses with striped lock-free cells, so
+// writers (monitored completions) and readers (Stats) never block each
+// other or the hot path.
+type lossAccumulator struct {
+	next  atomic.Uint64
+	cells [lossStripes]paddedFloat
+}
+
+func (a *lossAccumulator) add(v float64) {
+	c := &a.cells[a.next.Add(1)%lossStripes]
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *lossAccumulator) sum() float64 {
+	s := 0.0
+	for i := range a.cells {
+		s += math.Float64frombits(a.cells[i].bits.Load())
+	}
+	return s
+}
+
+// set overwrites the accumulated total (checkpoint restore).
+func (a *lossAccumulator) set(v float64) {
+	a.cells[0].bits.Store(math.Float64bits(v))
+	for i := 1; i < lossStripes; i++ {
+		a.cells[i].bits.Store(0)
+	}
+}
+
+// applyOffsetAction shifts a version-ladder precision offset for a
+// recalibration action, clamped to ±nVersions, and clears the
+// model-driven disable (recalibration pressure can re-enable a site the
+// model had given up on). Shared by Func and Func2, whose approximation
+// level is an offset into the version ladder.
+func applyOffsetAction(offset *int, disabled *bool, a Action, nVersions int) {
+	switch a {
+	case ActIncrease:
+		if *offset < nVersions {
+			*offset++
+		}
+		*disabled = false
+	case ActDecrease:
+		if *offset > -nVersions {
+			*offset--
+		}
+		*disabled = false
+	}
+}

@@ -50,7 +50,7 @@ func TestLoopEmitsEventsOnMonitoredRuns(t *testing.T) {
 func TestFuncEmitsEventsOnMonitoredCalls(t *testing.T) {
 	var events []Event
 	f := funcFixture(t, 0.2, 2)
-	f.cfg.OnEvent = func(e Event) { events = append(events, e) }
+	f.onEvent = func(e Event) { events = append(events, e) }
 	for i := 0; i < 6; i++ {
 		f.Call(2)
 	}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"green/internal/model"
+)
+
+// Func2 parity tests: the generic controller gives the two-parameter
+// controller the same construction-time validation, restore hardening,
+// panic containment, breaker, and event behavior as Loop and Func.
+
+func TestNewFunc2RejectsBadConfig(t *testing.T) {
+	grid := model.Grid2D{XLo: 0, XHi: 10, YLo: 0, YHi: 10, NX: 2, NY: 2}
+	cal, err := model.NewCalibration2D("m", 18, []string{"v"}, []float64{4}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.AddSample(0, 0.5, 0.5, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(x, y float64) float64 { return x }
+	cases := []struct {
+		name   string
+		cfg    Func2Config
+		approx []Fn2
+		want   string
+	}{
+		{"zero SLA", Func2Config{Model: m, SLA: 0}, []Fn2{id}, "outside (0,1]"},
+		{"negative SLA", Func2Config{Model: m, SLA: -0.2}, []Fn2{id}, "outside (0,1]"},
+		{"SLA above one", Func2Config{Model: m, SLA: 1.5}, []Fn2{id}, "outside (0,1]"},
+		{"negative SampleInterval", Func2Config{Model: m, SLA: 0.1, SampleInterval: -1}, []Fn2{id}, "negative SampleInterval"},
+		{"version count mismatch", Func2Config{Model: m, SLA: 0.1}, []Fn2{id, id}, "versions but model has"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewFunc2(tc.cfg, id, tc.approx)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("NewFunc2(%+v) error = %v, want containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+	if _, err := NewFunc2(Func2Config{Model: m, SLA: 1}, id, []Fn2{id}); err != nil {
+		t.Fatalf("SLA of exactly 1 must be accepted: %v", err)
+	}
+}
+
+func TestFunc2StateRoundTrip(t *testing.T) {
+	f1 := func2Fixture(t, 0.05, 2)
+	// Drive recalibration so the state is non-trivial: the 0.05 SLA
+	// selects m1 (loss 0.01), so monitored calls observe real loss.
+	for i := 0; i < 20; i++ {
+		f1.Call(2, 3)
+	}
+	data, err := f1.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := func2Fixture(t, 0.05, 2)
+	if err := f2.RestoreStateJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Offset() != f1.Offset() {
+		t.Errorf("offset = %d, want %d", f2.Offset(), f1.Offset())
+	}
+	c1, m1, l1 := f1.Stats()
+	c2, m2, l2 := f2.Stats()
+	if c1 != c2 || m1 != m2 || l1 != l2 {
+		t.Errorf("stats differ: (%d,%d,%v) vs (%d,%d,%v)", c1, m1, l1, c2, m2, l2)
+	}
+}
+
+func TestFunc2RestoreRejectsPoisonedState(t *testing.T) {
+	f := func2Fixture(t, 0.05, 2)
+	valid := Func2State{Name: "mul", Offset: 1, Interval: 4, Count: 50, Monitored: 5, LossSum: 0.2}
+	if err := f.Restore(valid); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Func2State)
+		errWant string
+	}{
+		{"cross-name", func(s *Func2State) { s.Name = "other" }, "cannot restore"},
+		{"offset above ladder", func(s *Func2State) { s.Offset = 3 }, "version ladder"},
+		{"offset below ladder", func(s *Func2State) { s.Offset = -3 }, "version ladder"},
+		{"negative interval", func(s *Func2State) { s.Interval = -1 }, "interval"},
+		{"negative count", func(s *Func2State) { s.Count = -1 }, "counters"},
+		{"negative monitored", func(s *Func2State) { s.Monitored = -1 }, "counters"},
+		{"monitored exceeds count", func(s *Func2State) { s.Monitored = 51 }, "exceeds count"},
+		{"NaN loss sum", func(s *Func2State) { s.LossSum = math.NaN() }, "loss sum"},
+		{"Inf loss sum", func(s *Func2State) { s.LossSum = math.Inf(1) }, "loss sum"},
+		{"negative loss sum", func(s *Func2State) { s.LossSum = -0.1 }, "loss sum"},
+	}
+	for _, tc := range cases {
+		s := valid
+		tc.mutate(&s)
+		err := f.Restore(s)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errWant)
+		}
+	}
+	if f.Offset() != 1 {
+		t.Errorf("rejected restores mutated the offset: %d", f.Offset())
+	}
+	if err := f.RestoreStateJSON([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestFunc2EmitsEventsOnMonitoredCalls(t *testing.T) {
+	var events []Event
+	f := func2Fixture(t, 0.2, 2)
+	f.onEvent = func(e Event) { events = append(events, e) }
+	for i := 0; i < 6; i++ {
+		f.Call(2, 3)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (every 2nd call)", len(events))
+	}
+	for _, e := range events {
+		if e.Unit != "mul" || e.SLA != 0.2 {
+			t.Errorf("bad event metadata: %+v", e)
+		}
+	}
+}
+
+func TestFunc2QoSPanicContainedAndBreakerTrips(t *testing.T) {
+	f := func2Fixture(t, 0.2, 1)
+	f.qos = func(p, a float64) float64 { panic("qos boom") }
+	// Every call is monitored; each contained panic charges the breaker
+	// (threshold defaults to 3).
+	for i := 0; i < 3; i++ {
+		if got := f.Call(2, 3); got != 6 {
+			t.Fatalf("call %d: got %v, want the precise result", i, got)
+		}
+	}
+	b := f.Breaker()
+	if b.State != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", b.State)
+	}
+	if b.ContainedPanics != 3 || b.Trips != 1 {
+		t.Errorf("breaker stats = %+v", b)
+	}
+	// Open breaker: forced precise, monitoring suspended — the faulty
+	// comparator must not run again.
+	_, monitoredBefore, _ := f.Stats()
+	if got := f.Call(2, 3); got != 6 {
+		t.Errorf("open-breaker call = %v, want precise", got)
+	}
+	if _, m, _ := f.Stats(); m != monitoredBefore {
+		t.Errorf("open breaker still monitored: %d -> %d", monitoredBefore, m)
+	}
+}
+
+func TestFunc2ApproxPanicContained(t *testing.T) {
+	grid := model.Grid2D{XLo: 0, XHi: 10, YLo: 0, YHi: 10, NX: 2, NY: 2}
+	cal, err := model.NewCalibration2D("boom", 18, []string{"v0"}, []float64{4}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.5; x < 10; x++ {
+		for y := 0.5; y < 10; y++ {
+			if err := cal.AddSample(0, x, y, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := cal.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	precise := func(x, y float64) float64 { return x + y }
+	bad := func(x, y float64) float64 { panic("approx boom") }
+	f, err := NewFunc2(Func2Config{Name: "boom", Model: m, SLA: 0.05, SampleInterval: 1},
+		precise, []Fn2{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Call(2, 3); got != 5 {
+		t.Fatalf("monitored call with panicking approx = %v, want precise", got)
+	}
+	if b := f.Breaker(); b.ContainedPanics != 1 {
+		t.Errorf("contained panics = %d, want 1", b.ContainedPanics)
+	}
+	// The failed observation must not enter the monitored statistics.
+	if _, monitored, _ := f.Stats(); monitored != 0 {
+		t.Errorf("failed observation counted: monitored = %d", monitored)
+	}
+}
+
+func TestFunc2UnitInterface(t *testing.T) {
+	var _ Unit = (*Func2)(nil)
+	f := func2Fixture(t, 0.2, 0)
+	if !f.ApproxEnabled() {
+		t.Fatal("fresh controller should approximate")
+	}
+	if got := f.Call(2, 3); got == 6 {
+		t.Fatalf("approximation inactive before DisableApprox")
+	}
+	f.DisableApprox()
+	if f.ApproxEnabled() {
+		t.Error("ApproxEnabled after DisableApprox")
+	}
+	if got := f.Call(2, 3); got != 6 {
+		t.Errorf("DisableApprox not honored: %v", got)
+	}
+	f.EnableApprox()
+	if got := f.Call(2, 3); got == 6 {
+		t.Errorf("EnableApprox not honored: %v", got)
+	}
+	if !f.IncreaseAccuracy() {
+		t.Error("IncreaseAccuracy reported no change from offset 0")
+	}
+	if f.Offset() != 1 {
+		t.Errorf("offset = %d after IncreaseAccuracy", f.Offset())
+	}
+	if !f.DecreaseAccuracy() {
+		t.Error("DecreaseAccuracy reported no change")
+	}
+	if f.Offset() != 0 {
+		t.Errorf("offset = %d after DecreaseAccuracy", f.Offset())
+	}
+	if s := f.Sensitivity(); s <= 0 {
+		t.Errorf("Sensitivity = %v, want positive (covered cells below precise)", s)
+	}
+}

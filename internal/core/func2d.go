@@ -3,9 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
-	"sync/atomic"
 
 	"green/internal/model"
 )
@@ -42,26 +40,45 @@ type Func2Config struct {
 	Policy RecalibratePolicy
 	// QoS overrides the default return-value QoS computation.
 	QoS FuncQoS
+	// Disabled forces every call to the precise version (overhead
+	// experiment and global fallback).
+	Disabled bool
+	// OnEvent, when non-nil, receives an Event after every monitored
+	// call.
+	OnEvent EventFunc
+	// BreakerThreshold is the number of consecutive contained panics (in
+	// the approximate version or the QoS comparator on monitored calls)
+	// that trip the circuit breaker to forced-precise operation. Zero
+	// means 3; negative disables tripping. See resilience.go.
+	BreakerThreshold int
+	// BreakerCooldown is the number of calls the breaker stays open
+	// before a half-open probe. Zero derives four sampling intervals
+	// (minimum 16).
+	BreakerCooldown int
+}
+
+// func2State is the immutable snapshot Func2's Call fast path reads with
+// a single atomic load, published through the embedded controller's
+// copy-on-write protocol.
+type func2State struct {
+	offset   int
+	disabled bool
+	forceOff bool
 }
 
 // Func2 is the two-parameter function controller. It mirrors Func's
 // behavior: per-call cheapest-version selection under the SLA, monitored
-// sampling, and offset-based recalibration.
+// sampling with panic containment and a circuit breaker, and
+// offset-based recalibration. The counters, sampling decision, breaker,
+// policy plumbing, and Stats come from the embedded generic controller;
+// the non-monitored path is lock-free.
 type Func2 struct {
+	controller[func2State]
+
 	cfg      Func2Config
 	precise  Fn2
 	versions []Fn2
 	qos      FuncQoS
-
-	offset   atomic.Int64
-	count    atomic.Int64
-	interval atomic.Int64
-	disabled atomic.Bool
-
-	mu        sync.Mutex
-	policy    RecalibratePolicy
-	monitored int64
-	lossSum   float64
 }
 
 // NewFunc2 builds the controller; approx must match the model's versions
@@ -77,51 +94,43 @@ func NewFunc2(cfg Func2Config, precise Fn2, approx []Fn2) (*Func2, error) {
 		return nil, fmt.Errorf("core: func2 %q: %d versions but model has %d",
 			cfg.Name, len(approx), len(cfg.Model.Versions))
 	}
-	if cfg.SLA <= 0 || cfg.SLA > 1 {
-		return nil, fmt.Errorf("core: func2 %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
-	}
-	if cfg.SampleInterval < 0 {
-		return nil, fmt.Errorf("core: func2 %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
-	}
 	f := &Func2{
 		cfg:      cfg,
 		precise:  precise,
 		versions: append([]Fn2(nil), approx...),
 		qos:      cfg.QoS,
-		policy:   cfg.Policy,
+	}
+	if err := f.init("func2", ctrlOptions{
+		Name: cfg.Name, SLA: cfg.SLA, SampleInterval: cfg.SampleInterval,
+		Policy: cfg.Policy, OnEvent: cfg.OnEvent,
+		BreakerThreshold: cfg.BreakerThreshold, BreakerCooldown: cfg.BreakerCooldown,
+	}); err != nil {
+		return nil, err
 	}
 	if f.qos == nil {
-		f.qos = func(p, a float64) float64 {
-			denom := math.Abs(p)
-			if denom < 1e-12 {
-				denom = 1e-12
-			}
-			return math.Abs(a-p) / denom
-		}
+		f.qos = defaultFuncQoS
 	}
-	if f.policy == nil {
-		f.policy = DefaultPolicy{}
-	}
-	f.interval.Store(int64(cfg.SampleInterval))
+	f.state.Store(&func2State{forceOff: cfg.Disabled})
 	return f, nil
 }
 
-// Name returns the configured name.
-func (f *Func2) Name() string { return f.cfg.Name }
-
 // Offset returns the recalibration precision offset.
-func (f *Func2) Offset() int { return int(f.offset.Load()) }
+func (f *Func2) Offset() int { return int(f.state.Load().offset) }
 
-// selectVersion applies the model plus the current offset.
-func (f *Func2) selectVersion(x, y float64) int {
-	if f.disabled.Load() {
+// Level reports the precision offset as the controller's approximation
+// level (the registry's uniform scalar view; see registry.go).
+func (f *Func2) Level() float64 { return float64(f.state.Load().offset) }
+
+// selectVersion applies the model plus the snapshot's offset.
+func (f *Func2) selectVersion(st *func2State, x, y float64) int {
+	if st.disabled || st.forceOff {
 		return model.PreciseVersion
 	}
 	v := f.cfg.Model.SelectVersion(x, y, f.cfg.SLA)
 	if v == model.PreciseVersion {
 		return v
 	}
-	v += int(f.offset.Load())
+	v += st.offset
 	if v >= len(f.versions) {
 		return model.PreciseVersion
 	}
@@ -131,63 +140,167 @@ func (f *Func2) selectVersion(x, y float64) int {
 	return v
 }
 
-// Call evaluates the function under the approximation policy.
+// Call evaluates the function under the approximation policy. On
+// monitored calls both the precise and the selected approximate version
+// run; the measured loss feeds the recalibration policy and the precise
+// result is returned. As with Func, the extra work the monitored path
+// adds (the approximate version and the QoS comparator) runs under
+// recover; a contained panic discards the observation and charges the
+// breaker.
 func (f *Func2) Call(x, y float64) float64 {
-	n := f.count.Add(1)
-	iv := f.interval.Load()
-	monitor := iv > 0 && n%iv == 0
-	v := f.selectVersion(x, y)
-	if !monitor {
+	st := f.state.Load()
+	o := f.beginObservation()
+	v := f.selectVersion(st, x, y)
+	if o.forced {
+		// Breaker open: forced precise, monitoring suspended.
+		v = model.PreciseVersion
+	}
+
+	if !o.monitor {
 		if v == model.PreciseVersion {
 			return f.precise(x, y)
 		}
 		return f.versions[v](x, y)
 	}
+
 	yp := f.precise(x, y)
 	loss := 0.0
+	panicked := false
 	if v != model.PreciseVersion {
-		loss = f.qos(yp, f.versions[v](x, y))
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.monitored++
-	f.lossSum += loss
-	d := f.policy.Observe(loss, f.cfg.SLA)
-	if d.NewSampleInterval > 0 {
-		f.interval.Store(int64(d.NewSampleInterval))
-	}
-	switch d.Action {
-	case ActIncrease:
-		if off := f.offset.Load(); off < int64(len(f.versions)) {
-			f.offset.Store(off + 1)
-		}
-	case ActDecrease:
-		if off := f.offset.Load(); off > -int64(len(f.versions)) {
-			f.offset.Store(off - 1)
+		if ya, ok := f.safeApprox(v, x, y); ok {
+			if lv, ok := f.safeQoS(yp, ya); ok {
+				loss = lv
+			} else {
+				panicked = true
+			}
+		} else {
+			panicked = true
 		}
 	}
+
+	f.finishObservation(o, loss, panicked, func(st *func2State, a Action) float64 {
+		applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
+		return float64(st.offset)
+	})
 	return yp
 }
 
-// Stats reports runtime counters.
-func (f *Func2) Stats() (calls, monitored int64, meanLoss float64) {
-	calls = f.count.Load()
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.monitored > 0 {
-		meanLoss = f.lossSum / float64(f.monitored)
-	}
-	return calls, f.monitored, meanLoss
+// safeApprox runs approximate version v under recover.
+func (f *Func2) safeApprox(v int, x, y float64) (z float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			z, ok = 0, false
+		}
+	}()
+	return f.versions[v](x, y), true
 }
 
-// DisableApprox forces precise execution; EnableApprox reverts it.
-func (f *Func2) DisableApprox() { f.disabled.Store(true) }
+// safeQoS runs the QoS comparator under recover.
+func (f *Func2) safeQoS(yp, ya float64) (loss float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			loss, ok = 0, false
+		}
+	}()
+	return f.qos(yp, ya), true
+}
+
+// IncreaseAccuracy implements Unit.
+func (f *Func2) IncreaseAccuracy() bool {
+	changed := false
+	f.mutate(func(st *func2State) {
+		before := st.offset
+		applyOffsetAction(&st.offset, &st.disabled, ActIncrease, len(f.versions))
+		changed = st.offset != before
+	})
+	return changed
+}
+
+// DecreaseAccuracy implements Unit.
+func (f *Func2) DecreaseAccuracy() bool {
+	changed := false
+	f.mutate(func(st *func2State) {
+		before := st.offset
+		applyOffsetAction(&st.offset, &st.disabled, ActDecrease, len(f.versions))
+		changed = st.offset != before
+	})
+	return changed
+}
+
+// Sensitivity implements Unit: the mean modeled loss improvement per
+// unit of relative work increase when shifting each covered grid cell's
+// selected version one step more precise.
+func (f *Func2) Sensitivity() float64 {
+	st := f.state.Load()
+	m := f.cfg.Model
+	cells := m.Grid.NX * m.Grid.NY
+
+	var dLoss, dWork float64
+	n := 0
+	for idx := 0; idx < cells; idx++ {
+		// Cheapest version meeting the SLA in this cell (SelectVersion's
+		// rule), then the recalibration offset, as selectVersion applies.
+		base := model.PreciseVersion
+		bestWork := m.PreciseWork
+		for vi := range m.Versions {
+			v := &m.Versions[vi]
+			if v.Loss[idx] <= f.cfg.SLA && v.Work < bestWork {
+				base = vi
+				bestWork = v.Work
+			}
+		}
+		if base == model.PreciseVersion {
+			continue
+		}
+		cur := base + st.offset
+		if cur < 0 {
+			cur = 0
+		}
+		if cur >= len(m.Versions) {
+			continue // already precise here
+		}
+		lossCur := m.Versions[cur].Loss[idx]
+		if !finite(lossCur) {
+			continue // uncalibrated cell
+		}
+		var lossUp, workUp float64
+		if cur+1 >= len(m.Versions) {
+			lossUp, workUp = 0, m.PreciseWork
+		} else {
+			lossUp, workUp = m.Versions[cur+1].Loss[idx], m.Versions[cur+1].Work
+			if !finite(lossUp) {
+				lossUp = 0
+			}
+		}
+		dLoss += lossCur - lossUp
+		dWork += (workUp - m.Versions[cur].Work) / m.PreciseWork
+		n++
+	}
+	if n == 0 || dWork <= 0 {
+		return 0
+	}
+	return dLoss / dWork
+}
+
+// DisableApprox implements Unit; the disable is sticky — only
+// EnableApprox clears it.
+func (f *Func2) DisableApprox() {
+	f.mutate(func(st *func2State) { st.forceOff = true })
+}
 
 // EnableApprox re-enables approximation after DisableApprox.
-func (f *Func2) EnableApprox() { f.disabled.Store(false) }
+func (f *Func2) EnableApprox() {
+	f.mutate(func(st *func2State) {
+		st.forceOff = false
+		st.disabled = false
+	})
+}
 
-// ApproxEnabled reports whether approximation is active.
-func (f *Func2) ApproxEnabled() bool { return !f.disabled.Load() }
+// ApproxEnabled implements Unit.
+func (f *Func2) ApproxEnabled() bool {
+	st := f.state.Load()
+	return !st.disabled && !st.forceOff
+}
 
 // SiteSet manages per-call-site controllers for one approximated
 // function. Each Site shares the model and implementations but owns its

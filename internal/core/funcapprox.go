@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"green/internal/model"
@@ -20,6 +19,15 @@ type Fn func(float64) float64
 // return-value difference, matching the paper: "Unless directed
 // otherwise, Green uses the function return value as the QoS measure."
 type FuncQoS func(precise, approx float64) float64
+
+// defaultFuncQoS is the paper's default return-value QoS measure.
+func defaultFuncQoS(precise, approx float64) float64 {
+	denom := math.Abs(precise)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(approx-precise) / denom
+}
 
 // FuncConfig configures an approximable function (the arguments of the
 // paper's approx_func annotation plus the constructed model).
@@ -63,39 +71,34 @@ type FuncConfig struct {
 
 // funcState is the immutable snapshot the Call fast path reads with a
 // single atomic load: version-selection ranges, the recalibration offset,
-// disable flags, and the sampling interval. Recalibration and the Unit
-// methods build a new snapshot under f.mu and publish it atomically, so
-// ordinary calls never contend on a lock.
+// and the disable flags. It is published through the embedded
+// controller's copy-on-write protocol, so ordinary calls never contend
+// on a lock.
 type funcState struct {
 	ranges   []model.Range
 	offset   int
 	disabled bool
 	forceOff bool
-	interval int64
 }
 
 // Func is an approximable function: the operational-phase object
 // synthesized from an approx_func annotation. Call reproduces the
 // generated code of Figure 7 and is safe for concurrent use; the
-// non-monitored path is lock-free.
+// non-monitored path is lock-free. The counters, sampling decision,
+// breaker, policy plumbing, and Stats come from the embedded generic
+// controller.
 type Func struct {
+	controller[funcState]
+
 	cfg      FuncConfig
 	precise  Fn
 	versions []Fn
 	qos      FuncQoS
 	key      func(float64) float64
 
-	state atomic.Pointer[funcState]
-	count atomic.Int64
-	brk   *breaker
 	// workMilli accumulates model work units in thousandths, so the hot
 	// path can use a single atomic add for fractional unit costs.
 	workMilli atomic.Int64
-
-	mu        sync.Mutex // guards policy, monitored stats, state rebuilds
-	policy    RecalibratePolicy
-	monitored int64
-	lossSum   float64
 }
 
 // NewFunc builds the controller. precise is the exact implementation;
@@ -113,46 +116,32 @@ func NewFunc(cfg FuncConfig, precise Fn, approx []Fn) (*Func, error) {
 		return nil, fmt.Errorf("core: func %q: %d approximate versions but model has %d curves",
 			cfg.Name, len(approx), len(cfg.Model.Versions))
 	}
-	if cfg.SLA <= 0 || cfg.SLA > 1 {
-		return nil, fmt.Errorf("core: func %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
-	}
-	if cfg.SampleInterval < 0 {
-		return nil, fmt.Errorf("core: func %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
-	}
 	f := &Func{
 		cfg:      cfg,
 		precise:  precise,
 		versions: append([]Fn(nil), approx...),
 		qos:      cfg.QoS,
 		key:      cfg.Key,
-		policy:   cfg.Policy,
-		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.SampleInterval),
+	}
+	if err := f.init("func", ctrlOptions{
+		Name: cfg.Name, SLA: cfg.SLA, SampleInterval: cfg.SampleInterval,
+		Policy: cfg.Policy, OnEvent: cfg.OnEvent,
+		BreakerThreshold: cfg.BreakerThreshold, BreakerCooldown: cfg.BreakerCooldown,
+	}); err != nil {
+		return nil, err
 	}
 	if f.qos == nil {
-		f.qos = func(precise, approx float64) float64 {
-			denom := math.Abs(precise)
-			if denom < 1e-12 {
-				denom = 1e-12
-			}
-			return math.Abs(approx-precise) / denom
-		}
+		f.qos = defaultFuncQoS
 	}
 	if f.key == nil {
 		f.key = func(x float64) float64 { return x }
 	}
-	if f.policy == nil {
-		f.policy = DefaultPolicy{}
-	}
 	f.state.Store(&funcState{
 		ranges:   cfg.Model.Ranges(cfg.SLA),
 		forceOff: cfg.Disabled,
-		interval: int64(cfg.SampleInterval),
 	})
 	return f, nil
 }
-
-// Name returns the configured function name.
-func (f *Func) Name() string { return f.cfg.Name }
 
 // Ranges returns the currently active selection ranges (before the
 // recalibration offset is applied).
@@ -163,6 +152,10 @@ func (f *Func) Ranges() []model.Range {
 
 // Offset returns the current recalibration precision offset.
 func (f *Func) Offset() int { return f.state.Load().offset }
+
+// Level reports the precision offset as the controller's approximation
+// level (the registry's uniform scalar view; see registry.go).
+func (f *Func) Level() float64 { return float64(f.state.Load().offset) }
 
 // selectVersion returns the version index (or model.PreciseVersion) for
 // input x under the snapshot's ranges and offset.
@@ -203,22 +196,14 @@ func (f *Func) selectVersion(st *funcState, x float64) int {
 // precise result is returned.
 func (f *Func) Call(x float64) float64 {
 	st := f.state.Load()
-	n := f.count.Add(1)
-	monitor := st.interval > 0 && n%st.interval == 0
-	forced, probe := f.brk.observeBegin(n)
-	if forced {
-		// Breaker open: forced precise, monitoring suspended.
-		monitor = false
-	}
-	if probe {
-		monitor = true
-	}
+	o := f.beginObservation()
 	v := f.selectVersion(st, x)
-	if forced {
+	if o.forced {
+		// Breaker open: forced precise, monitoring suspended.
 		v = model.PreciseVersion
 	}
 
-	if !monitor {
+	if !o.monitor {
 		if v == model.PreciseVersion {
 			f.addWork(f.cfg.Model.PreciseWork)
 			return f.precise(x)
@@ -251,31 +236,10 @@ func (f *Func) Call(x float64) float64 {
 	}
 	f.addWork(work)
 
-	if panicked {
-		f.brk.onPanic(n, probe)
-		return yp
-	}
-	f.brk.onSuccess(probe)
-
-	f.mu.Lock()
-	f.monitored++
-	f.lossSum += loss
-	d := f.policy.Observe(loss, f.cfg.SLA)
-	next := *f.state.Load()
-	if d.NewSampleInterval > 0 {
-		next.interval = int64(d.NewSampleInterval)
-	}
-	applyFuncAction(&next, d.Action, len(f.versions))
-	f.state.Store(&next)
-	offset := next.offset
-	f.mu.Unlock()
-
-	if f.cfg.OnEvent != nil {
-		f.cfg.OnEvent(Event{
-			Unit: f.cfg.Name, Loss: loss, SLA: f.cfg.SLA,
-			Action: d.Action, Level: float64(offset),
-		})
-	}
+	f.finishObservation(o, loss, panicked, func(st *funcState, a Action) float64 {
+		applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
+		return float64(st.offset)
+	})
 	return yp
 }
 
@@ -299,9 +263,6 @@ func (f *Func) safeQoS(yp, ya float64) (loss float64, ok bool) {
 	return f.qos(yp, ya), true
 }
 
-// Breaker snapshots the function controller's circuit-breaker state.
-func (f *Func) Breaker() BreakerStats { return f.brk.stats() }
-
 func (f *Func) addWork(w float64) {
 	f.workMilli.Add(int64(w*1000 + 0.5))
 }
@@ -316,62 +277,12 @@ func (f *Func) Work() float64 {
 // WorkReset clears the accumulated work counter.
 func (f *Func) WorkReset() { f.workMilli.Store(0) }
 
-// Stats reports runtime counters: calls, monitored calls, mean observed
-// loss on monitored calls.
-func (f *Func) Stats() (calls, monitored int64, meanLoss float64) {
-	calls = f.count.Load()
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.monitored > 0 {
-		meanLoss = f.lossSum / float64(f.monitored)
-	}
-	return calls, f.monitored, meanLoss
-}
-
-// setInterval overrides the sampling interval (tests and tools).
-func (f *Func) setInterval(n int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	next := *f.state.Load()
-	next.interval = n
-	f.state.Store(&next)
-}
-
-// applyFuncAction shifts the precision offset for a recalibration action.
-// The paper: "The QoS_ReCalibrate() function replaces the current
-// approximate function version with a more precise one, to address low
-// QoS, and uses a more approximate version to address higher than
-// necessary QoS."
-func applyFuncAction(st *funcState, a Action, nVersions int) {
-	switch a {
-	case ActIncrease:
-		if st.offset < nVersions {
-			st.offset++
-		}
-		st.disabled = false
-	case ActDecrease:
-		if st.offset > -nVersions {
-			st.offset--
-		}
-		st.disabled = false
-	}
-}
-
-// mutateState rebuilds the published snapshot under the lock.
-func (f *Func) mutateState(fn func(*funcState)) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	next := *f.state.Load()
-	fn(&next)
-	f.state.Store(&next)
-}
-
 // IncreaseAccuracy implements Unit.
 func (f *Func) IncreaseAccuracy() bool {
 	changed := false
-	f.mutateState(func(st *funcState) {
+	f.mutate(func(st *funcState) {
 		before := st.offset
-		applyFuncAction(st, ActIncrease, len(f.versions))
+		applyOffsetAction(&st.offset, &st.disabled, ActIncrease, len(f.versions))
 		changed = st.offset != before
 	})
 	return changed
@@ -380,9 +291,9 @@ func (f *Func) IncreaseAccuracy() bool {
 // DecreaseAccuracy implements Unit.
 func (f *Func) DecreaseAccuracy() bool {
 	changed := false
-	f.mutateState(func(st *funcState) {
+	f.mutate(func(st *funcState) {
 		before := st.offset
-		applyFuncAction(st, ActDecrease, len(f.versions))
+		applyOffsetAction(&st.offset, &st.disabled, ActDecrease, len(f.versions))
 		changed = st.offset != before
 	})
 	return changed
@@ -429,12 +340,12 @@ func (f *Func) Sensitivity() float64 {
 // DisableApprox implements Unit. The disable is sticky — recalibration
 // pressure does not re-enable it; only EnableApprox does.
 func (f *Func) DisableApprox() {
-	f.mutateState(func(st *funcState) { st.forceOff = true })
+	f.mutate(func(st *funcState) { st.forceOff = true })
 }
 
 // EnableApprox re-enables approximation after DisableApprox.
 func (f *Func) EnableApprox() {
-	f.mutateState(func(st *funcState) {
+	f.mutate(func(st *funcState) {
 		st.forceOff = false
 		st.disabled = false
 	})

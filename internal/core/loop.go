@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"green/internal/model"
 )
@@ -102,15 +101,12 @@ type LoopConfig struct {
 }
 
 // loopState is the immutable snapshot of the loop's mutable approximation
-// state. Begin reads it with a single atomic load; every mutation
-// (recalibration, the Unit methods, SetLevel/SetAdaptive, Restore) copies
-// the current snapshot under l.mu, edits the copy, and publishes it
-// atomically — the same copy-on-write scheme Func uses in funcapprox.go.
-// The operational hot path therefore never takes a lock.
+// state, published through the embedded controller's copy-on-write
+// protocol (controller.go): Begin reads it with a single atomic load and
+// the operational hot path never takes a lock.
 type loopState struct {
 	level    float64 // current static threshold M
 	adaptive model.AdaptiveParams
-	interval int64
 	disabled bool
 
 	// forceOff is the sticky disable: set by cfg.Disabled or
@@ -120,70 +116,17 @@ type loopState struct {
 	forceOff bool
 }
 
-// lossStripes sizes the striped loss accumulator: enough cells that
-// concurrent monitored Finishes rarely collide on one CAS, few enough
-// that Stats' read-side sum stays trivial.
-const lossStripes = 8
-
-// paddedFloat is one accumulator cell, padded out to a cache line so
-// adjacent stripes do not false-share.
-type paddedFloat struct {
-	bits atomic.Uint64
-	_    [56]byte
-}
-
-// lossAccumulator sums float64 losses with striped lock-free cells, so
-// writers (monitored Finish) and readers (Stats) never block each other
-// or the Begin fast path.
-type lossAccumulator struct {
-	next  atomic.Uint64
-	cells [lossStripes]paddedFloat
-}
-
-func (a *lossAccumulator) add(v float64) {
-	c := &a.cells[a.next.Add(1)%lossStripes]
-	for {
-		old := c.bits.Load()
-		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
-			return
-		}
-	}
-}
-
-func (a *lossAccumulator) sum() float64 {
-	s := 0.0
-	for i := range a.cells {
-		s += math.Float64frombits(a.cells[i].bits.Load())
-	}
-	return s
-}
-
-// set overwrites the accumulated total (checkpoint restore).
-func (a *lossAccumulator) set(v float64) {
-	a.cells[0].bits.Store(math.Float64bits(v))
-	for i := 1; i < lossStripes; i++ {
-		a.cells[i].bits.Store(0)
-	}
-}
-
 // Loop is an approximable loop: the operational-phase object synthesized
 // from an approx_loop annotation. It is safe for concurrent use; the
 // Begin/Continue/Finish path of a non-monitored execution is lock-free
-// and allocation-free.
+// and allocation-free. The counters, sampling decision, breaker, policy
+// plumbing, and Stats come from the embedded generic controller.
 type Loop struct {
+	controller[loopState]
+
 	cfg      LoopConfig
 	step     float64
 	minLevel float64
-
-	state atomic.Pointer[loopState]
-
-	count     atomic.Int64 // executions since creation
-	monitored atomic.Int64
-	loss      lossAccumulator
-	brk       *breaker
-
-	mu     sync.Mutex // serializes snapshot rebuilds and the policy
-	policy RecalibratePolicy
 }
 
 // normalizeAdaptive rounds a positive fractional Period to a whole number
@@ -208,26 +151,19 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("core: loop requires a model")
 	}
-	if cfg.SLA <= 0 || cfg.SLA > 1 {
-		return nil, fmt.Errorf("core: loop %q: SLA %v outside (0,1]", cfg.Name, cfg.SLA)
-	}
-	if cfg.SampleInterval < 0 {
-		return nil, fmt.Errorf("core: loop %q: negative SampleInterval %d", cfg.Name, cfg.SampleInterval)
-	}
 	l := &Loop{
 		cfg:      cfg,
-		policy:   cfg.Policy,
 		step:     cfg.Step,
 		minLevel: cfg.MinLevel,
-		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.SampleInterval),
 	}
-	st := loopState{
-		interval: int64(cfg.SampleInterval),
-		forceOff: cfg.Disabled,
+	if err := l.init("loop", ctrlOptions{
+		Name: cfg.Name, SLA: cfg.SLA, SampleInterval: cfg.SampleInterval,
+		Policy: cfg.Policy, OnEvent: cfg.OnEvent,
+		BreakerThreshold: cfg.BreakerThreshold, BreakerCooldown: cfg.BreakerCooldown,
+	}); err != nil {
+		return nil, err
 	}
-	if l.policy == nil {
-		l.policy = DefaultPolicy{}
-	}
+	st := loopState{forceOff: cfg.Disabled}
 	levels := cfg.Model.Levels()
 	if l.minLevel == 0 && len(levels) > 0 {
 		l.minLevel = levels[0]
@@ -266,15 +202,6 @@ func NewLoop(cfg LoopConfig) (*Loop, error) {
 	return l, nil
 }
 
-// mutate rebuilds the published snapshot under the lock (copy-on-write).
-func (l *Loop) mutate(fn func(*loopState)) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	next := *l.state.Load()
-	fn(&next)
-	l.state.Store(&next)
-}
-
 // SetLevel overrides the current static threshold M. Used by experiments
 // that simulate an imperfect QoS model (paper Figure 14) and by the fixed
 // M-*N versions of the evaluation.
@@ -310,25 +237,6 @@ func (l *Loop) SetAdaptive(p model.AdaptiveParams) error {
 	l.mutate(func(st *loopState) { st.adaptive = p })
 	return nil
 }
-
-// Name returns the configured loop name.
-func (l *Loop) Name() string { return l.cfg.Name }
-
-// Stats reports runtime counters: executions, monitored executions, and
-// the mean observed loss over monitored executions. It reads only atomic
-// counters, so it never blocks — or is blocked by — executions in flight.
-func (l *Loop) Stats() (executions, monitored int64, meanLoss float64) {
-	executions = l.count.Load()
-	monitored = l.monitored.Load()
-	if monitored > 0 {
-		meanLoss = l.loss.sum() / float64(monitored)
-	}
-	return executions, monitored, meanLoss
-}
-
-// Breaker snapshots the loop's circuit-breaker state (panic containment
-// on the monitored path; see resilience.go).
-func (l *Loop) Breaker() BreakerStats { return l.brk.stats() }
 
 // LoopExec is the per-execution state of one run of the approximated
 // loop: the code Figure 3 inlines around the loop body. Handles are
@@ -374,32 +282,26 @@ func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
 		delta = d
 	}
 	st := l.state.Load()
-	n := l.count.Add(1)
-	monitor := st.interval > 0 && n%st.interval == 0
+	o := l.beginObservation()
 	disabled := st.disabled || st.forceOff
-	forced, probe := l.brk.observeBegin(n)
-	if forced {
+	if o.forced {
 		// Breaker open: forced precise, and monitoring suspended so the
-		// faulty callbacks stop running.
-		monitor, disabled = false, true
-	}
-	if probe {
-		// Half-open probe: a forced monitored execution re-tests the
-		// callbacks under recover.
-		monitor = true
+		// faulty callbacks stop running (beginObservation already cleared
+		// o.monitor).
+		disabled = true
 	}
 	e := execPool.Get().(*LoopExec)
 	*e = LoopExec{
 		loop:      l,
 		qos:       qos,
 		delta:     delta,
-		monitor:   monitor,
+		monitor:   o.monitor,
 		level:     st.level,
 		adaptive:  st.adaptive,
 		mode:      l.cfg.Mode,
 		disabled:  disabled,
-		seq:       n,
-		probe:     probe,
+		seq:       o.seq,
+		probe:     o.probe,
 		wouldStop: -1,
 	}
 	return e, nil
@@ -527,9 +429,10 @@ type Result struct {
 // Finish completes the execution. finalIter is the iteration count the
 // loop actually reached (its natural bound for monitored or non-triggered
 // runs). For monitored executions it computes the QoS loss of the
-// approximation via LoopQoS.Loss, feeds the recalibration policy, and
-// applies its decision. Finish recycles the execution handle; the handle
-// must not be used again afterwards.
+// approximation via LoopQoS.Loss and hands the observation to the shared
+// controller, which feeds the recalibration policy and applies its
+// decision. Finish recycles the execution handle; the handle must not be
+// used again afterwards.
 func (e *LoopExec) Finish(finalIter int) Result {
 	l := e.loop
 	if l == nil {
@@ -550,41 +453,20 @@ func (e *LoopExec) Finish(finalIter int) Result {
 	if e.recorded && !e.panicked {
 		loss, _ = e.safeLoss(finalIter)
 	}
-	panicked, probe, seq := e.panicked, e.probe, e.seq
+	o := obs{seq: e.seq, monitor: true, probe: e.probe}
+	panicked := e.panicked
 	res.Loss = loss
 	e.release()
 
+	res.Recalibrated = l.finishObservation(o, loss, panicked, func(st *loopState, a Action) float64 {
+		l.applyAction(st, a)
+		return st.level
+	})
 	if panicked {
-		// Failed observation: its loss value would be garbage, so it is
-		// discarded — not counted into the monitored statistics and not
-		// fed to the recalibration policy — and charged to the breaker.
+		// Failed observation: its loss value would be garbage, so it was
+		// discarded and charged to the breaker (finishObservation).
 		res.Loss = 0
 		res.ContainedPanic = true
-		l.brk.onPanic(seq, probe)
-		return res
-	}
-	l.brk.onSuccess(probe)
-
-	l.monitored.Add(1)
-	l.loss.add(loss)
-
-	l.mu.Lock()
-	d := l.policy.Observe(loss, l.cfg.SLA)
-	next := *l.state.Load()
-	if d.NewSampleInterval > 0 {
-		next.interval = int64(d.NewSampleInterval)
-	}
-	l.applyAction(&next, d.Action)
-	l.state.Store(&next)
-	level := next.level
-	l.mu.Unlock()
-
-	res.Recalibrated = d.Action
-	if l.cfg.OnEvent != nil {
-		l.cfg.OnEvent(Event{
-			Unit: l.cfg.Name, Loss: loss, SLA: l.cfg.SLA,
-			Action: d.Action, Level: level,
-		})
 	}
 	return res
 }

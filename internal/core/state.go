@@ -8,9 +8,50 @@ import (
 
 // Controller state checkpointing: a service that restarts should resume
 // with the approximation levels runtime recalibration had reached, not
-// the cold model defaults. LoopState/FuncState snapshot the mutable
-// runtime state (the models themselves are persisted separately by the
-// calibration tooling).
+// the cold model defaults. LoopState/FuncState/Func2State snapshot the
+// mutable runtime state (the models themselves are persisted separately
+// by the calibration tooling).
+
+// finite reports a value that is neither NaN nor ±Inf. A snapshot taken
+// from a healthy process never contains non-finite numbers; one that does
+// is corrupt (or was produced by a run whose QoS callbacks were already
+// broken) and restoring it would poison the recalibration state.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// validateCounters checks the counter/interval/loss fields every
+// controller snapshot shares — the single home of the snapshot-sanity
+// rules each Restore previously duplicated. kind ("loop", "func",
+// "func2") prefixes the error text so rejections keep their established
+// per-controller phrasing. Restores run once at service start, so they
+// reject loudly (descriptive errors) rather than limping along on
+// poisoned state.
+func validateCounters(kind string, interval, count, monitored int64, lossSum float64) error {
+	if interval < 0 {
+		return fmt.Errorf("core: %s state: negative sample interval %d", kind, interval)
+	}
+	if count < 0 || monitored < 0 {
+		return fmt.Errorf("core: %s state: negative counters (count=%d monitored=%d)", kind, count, monitored)
+	}
+	if monitored > count {
+		return fmt.Errorf("core: %s state: monitored %d exceeds count %d", kind, monitored, count)
+	}
+	if !finite(lossSum) || lossSum < 0 {
+		return fmt.Errorf("core: %s state: loss sum %v is not a finite non-negative number", kind, lossSum)
+	}
+	return nil
+}
+
+// validateOffset checks a version-ladder precision offset against the
+// controller's ladder bounds (shared by Func and Func2 restores).
+func validateOffset(kind string, offset, nVersions int) error {
+	if offset < -nVersions || offset > nVersions {
+		return fmt.Errorf("core: %s state: offset %d outside the version ladder [%d, %d]",
+			kind, offset, -nVersions, nVersions)
+	}
+	return nil
+}
 
 // LoopState is the serializable runtime state of a Loop.
 type LoopState struct {
@@ -38,7 +79,7 @@ func (l *Loop) State() LoopState {
 	return LoopState{
 		Name:      l.cfg.Name,
 		Level:     st.level,
-		Interval:  int(st.interval),
+		Interval:  int(l.interval.Load()),
 		Disabled:  st.disabled,
 		ForceOff:  st.forceOff,
 		Count:     l.count.Load(),
@@ -49,19 +90,9 @@ func (l *Loop) State() LoopState {
 	}
 }
 
-// finite reports a value that is neither NaN nor ±Inf. A snapshot taken
-// from a healthy process never contains non-finite numbers; one that does
-// is corrupt (or was produced by a run whose QoS callbacks were already
-// broken) and restoring it would poison the recalibration state.
-func finite(v float64) bool {
-	return !math.IsNaN(v) && !math.IsInf(v, 0)
-}
-
 // Restore applies a previously snapshotted state. The state must belong
 // to a loop with the same name, and every field must be plausible for
-// this loop's model: restore runs once at service start, so it rejects
-// loudly (descriptive errors) rather than limping along on poisoned
-// state.
+// this loop's model.
 func (l *Loop) Restore(s LoopState) error {
 	if s.Name != l.cfg.Name {
 		return fmt.Errorf("core: state for %q cannot restore loop %q", s.Name, l.cfg.Name)
@@ -72,41 +103,26 @@ func (l *Loop) Restore(s LoopState) error {
 	if s.Level > l.cfg.Model.BaseLevel {
 		return fmt.Errorf("core: loop state: level %v above the model's base level %v", s.Level, l.cfg.Model.BaseLevel)
 	}
-	if s.Interval < 0 {
-		return fmt.Errorf("core: loop state: negative sample interval %d", s.Interval)
-	}
-	if s.Count < 0 || s.Monitored < 0 {
-		return fmt.Errorf("core: loop state: negative counters (count=%d monitored=%d)", s.Count, s.Monitored)
-	}
-	if s.Monitored > s.Count {
-		return fmt.Errorf("core: loop state: monitored %d exceeds count %d", s.Monitored, s.Count)
-	}
-	if !finite(s.LossSum) || s.LossSum < 0 {
-		return fmt.Errorf("core: loop state: loss sum %v is not a finite non-negative number", s.LossSum)
+	if err := validateCounters("loop", int64(s.Interval), s.Count, s.Monitored, s.LossSum); err != nil {
+		return err
 	}
 	if !finite(s.AdaptiveM) || !finite(s.AdaptivePer) || !finite(s.AdaptiveDelta) ||
 		s.AdaptiveM < 0 || s.AdaptivePer < 0 || s.AdaptiveDelta < 0 {
 		return fmt.Errorf("core: loop state: implausible adaptive parameters (M=%v Period=%v TargetDelta=%v)",
 			s.AdaptiveM, s.AdaptivePer, s.AdaptiveDelta)
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	next := *l.state.Load()
-	next.level = s.Level
-	next.interval = int64(s.Interval)
-	next.disabled = s.Disabled
-	next.forceOff = s.ForceOff
-	next.adaptive.M = s.AdaptiveM
-	next.adaptive.Period = s.AdaptivePer
-	next.adaptive.TargetDelta = s.AdaptiveDelta
-	// Old checkpoints may carry a fractional model-derived Period; round
-	// it just like NewLoop/SetAdaptive do so approxSaysStop never sees a
-	// Period that truncates to zero.
-	next.adaptive = normalizeAdaptive(next.adaptive)
-	l.state.Store(&next)
-	l.count.Store(s.Count)
-	l.monitored.Store(s.Monitored)
-	l.loss.set(s.LossSum)
+	l.restoreCounters(int64(s.Interval), s.Count, s.Monitored, s.LossSum, func(next *loopState) {
+		next.level = s.Level
+		next.disabled = s.Disabled
+		next.forceOff = s.ForceOff
+		next.adaptive.M = s.AdaptiveM
+		next.adaptive.Period = s.AdaptivePer
+		next.adaptive.TargetDelta = s.AdaptiveDelta
+		// Old checkpoints may carry a fractional model-derived Period;
+		// round it just like NewLoop/SetAdaptive do so approxSaysStop
+		// never sees a Period that truncates to zero.
+		next.adaptive = normalizeAdaptive(next.adaptive)
+	})
 	return nil
 }
 
@@ -139,18 +155,18 @@ type FuncState struct {
 
 // State snapshots the function controller's runtime state.
 func (f *Func) State() FuncState {
-	st := f.state.Load()
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	st := f.state.Load()
 	return FuncState{
 		Name:      f.cfg.Name,
 		Offset:    st.offset,
-		Interval:  st.interval,
+		Interval:  f.interval.Load(),
 		Disabled:  st.disabled,
 		ForceOff:  st.forceOff,
 		Count:     f.count.Load(),
-		Monitored: f.monitored,
-		LossSum:   f.lossSum,
+		Monitored: f.monitored.Load(),
+		LossSum:   f.loss.sum(),
 		WorkMilli: f.workMilli.Load(),
 	}
 }
@@ -162,36 +178,20 @@ func (f *Func) Restore(s FuncState) error {
 	if s.Name != f.cfg.Name {
 		return fmt.Errorf("core: state for %q cannot restore func %q", s.Name, f.cfg.Name)
 	}
-	if s.Offset < -len(f.versions) || s.Offset > len(f.versions) {
-		return fmt.Errorf("core: func state: offset %d outside the version ladder [%d, %d]",
-			s.Offset, -len(f.versions), len(f.versions))
+	if err := validateOffset("func", s.Offset, len(f.versions)); err != nil {
+		return err
 	}
-	if s.Interval < 0 {
-		return fmt.Errorf("core: func state: negative sample interval %d", s.Interval)
-	}
-	if s.Count < 0 || s.Monitored < 0 {
-		return fmt.Errorf("core: func state: negative counters (count=%d monitored=%d)", s.Count, s.Monitored)
-	}
-	if s.Monitored > s.Count {
-		return fmt.Errorf("core: func state: monitored %d exceeds count %d", s.Monitored, s.Count)
-	}
-	if !finite(s.LossSum) || s.LossSum < 0 {
-		return fmt.Errorf("core: func state: loss sum %v is not a finite non-negative number", s.LossSum)
+	if err := validateCounters("func", s.Interval, s.Count, s.Monitored, s.LossSum); err != nil {
+		return err
 	}
 	if s.WorkMilli < 0 {
 		return fmt.Errorf("core: func state: negative accumulated work %d", s.WorkMilli)
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	next := *f.state.Load()
-	next.offset = s.Offset
-	next.interval = s.Interval
-	next.disabled = s.Disabled
-	next.forceOff = s.ForceOff
-	f.state.Store(&next)
-	f.count.Store(s.Count)
-	f.monitored = s.Monitored
-	f.lossSum = s.LossSum
+	f.restoreCounters(s.Interval, s.Count, s.Monitored, s.LossSum, func(next *funcState) {
+		next.offset = s.Offset
+		next.disabled = s.Disabled
+		next.forceOff = s.ForceOff
+	})
 	f.workMilli.Store(s.WorkMilli)
 	return nil
 }
@@ -206,6 +206,70 @@ func (f *Func) RestoreStateJSON(data []byte) error {
 	var s FuncState
 	if err := json.Unmarshal(data, &s); err != nil {
 		return fmt.Errorf("core: decode func state: %w", err)
+	}
+	return f.Restore(s)
+}
+
+// Func2State is the serializable runtime state of a Func2.
+type Func2State struct {
+	Name      string  `json:"name"`
+	Offset    int     `json:"offset"`
+	Interval  int64   `json:"interval"`
+	Disabled  bool    `json:"disabled"`
+	ForceOff  bool    `json:"force_off"`
+	Count     int64   `json:"count"`
+	Monitored int64   `json:"monitored"`
+	LossSum   float64 `json:"loss_sum"`
+}
+
+// State snapshots the two-parameter controller's runtime state.
+func (f *Func2) State() Func2State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state.Load()
+	return Func2State{
+		Name:      f.cfg.Name,
+		Offset:    st.offset,
+		Interval:  f.interval.Load(),
+		Disabled:  st.disabled,
+		ForceOff:  st.forceOff,
+		Count:     f.count.Load(),
+		Monitored: f.monitored.Load(),
+		LossSum:   f.loss.sum(),
+	}
+}
+
+// Restore applies a previously snapshotted state. The state must belong
+// to a controller with the same name, and the offset must be within the
+// version ladder.
+func (f *Func2) Restore(s Func2State) error {
+	if s.Name != f.cfg.Name {
+		return fmt.Errorf("core: state for %q cannot restore func2 %q", s.Name, f.cfg.Name)
+	}
+	if err := validateOffset("func2", s.Offset, len(f.versions)); err != nil {
+		return err
+	}
+	if err := validateCounters("func2", s.Interval, s.Count, s.Monitored, s.LossSum); err != nil {
+		return err
+	}
+	f.restoreCounters(s.Interval, s.Count, s.Monitored, s.LossSum, func(next *func2State) {
+		next.offset = s.Offset
+		next.disabled = s.Disabled
+		next.forceOff = s.ForceOff
+	})
+	return nil
+}
+
+// MarshalState serializes the controller state as JSON.
+func (f *Func2) MarshalState() ([]byte, error) {
+	return json.Marshal(f.State())
+}
+
+// RestoreStateJSON applies a JSON-serialized state.
+func (f *Func2) RestoreStateJSON(data []byte) error {
+	var s Func2State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core: decode func2 state: %w", err)
 	}
 	return f.Restore(s)
 }

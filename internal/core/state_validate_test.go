@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The shared snapshot-validation helpers are the single home of the
+// sanity rules every controller Restore applies (previously duplicated
+// per controller, and leaked into the persistence layer's tests). These
+// unit tests pin them directly.
+
+func TestFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 1e300, -1e-300} {
+		if !finite(v) {
+			t.Errorf("finite(%v) = false", v)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if finite(v) {
+			t.Errorf("finite(%v) = true", v)
+		}
+	}
+}
+
+func TestValidateCounters(t *testing.T) {
+	if err := validateCounters("loop", 10, 50, 5, 0.25); err != nil {
+		t.Fatalf("plausible counters rejected: %v", err)
+	}
+	if err := validateCounters("loop", 0, 0, 0, 0); err != nil {
+		t.Fatalf("zero counters rejected: %v", err)
+	}
+	cases := []struct {
+		name                       string
+		interval, count, monitored int64
+		lossSum                    float64
+		want                       string
+	}{
+		{"negative interval", -1, 0, 0, 0, "negative sample interval"},
+		{"negative count", 0, -1, 0, 0, "negative counters"},
+		{"negative monitored", 0, 0, -1, 0, "negative counters"},
+		{"monitored exceeds count", 0, 5, 6, 0, "exceeds count"},
+		{"NaN loss", 0, 5, 5, math.NaN(), "loss sum"},
+		{"Inf loss", 0, 5, 5, math.Inf(1), "loss sum"},
+		{"negative loss", 0, 5, 5, -0.5, "loss sum"},
+	}
+	for _, tc := range cases {
+		err := validateCounters("func2", tc.interval, tc.count, tc.monitored, tc.lossSum)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "func2") {
+			t.Errorf("%s: error %q does not carry the controller kind", tc.name, err)
+		}
+	}
+}
+
+func TestValidateOffset(t *testing.T) {
+	for _, off := range []int{-2, -1, 0, 1, 2} {
+		if err := validateOffset("func", off, 2); err != nil {
+			t.Errorf("offset %d rejected: %v", off, err)
+		}
+	}
+	for _, off := range []int{-3, 3} {
+		err := validateOffset("func", off, 2)
+		if err == nil || !strings.Contains(err.Error(), "version ladder") {
+			t.Errorf("offset %d: error = %v, want version-ladder rejection", off, err)
+		}
+	}
+}

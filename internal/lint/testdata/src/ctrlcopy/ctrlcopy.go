@@ -29,8 +29,36 @@ func appValue(h *holder) core.App { // want "returns by value"
 	return h.app // want "copies a App"
 }
 
+// func2ByValue receives a Func2 by value: the 2D controller carries the
+// same mutex-and-atomics state as the 1D one.
+func func2ByValue(f core.Func2) { // want "passes by value"
+	_ = f.Offset()
+}
+
+// func2Deref copies the 2D controller out of its pointer.
+func func2Deref(f *core.Func2) {
+	cp := *f // want "copies a Func2"
+	_ = cp.Offset()
+}
+
+// registryByValue returns the controller registry by value: its mutex
+// and name map detach from the live server's.
+func registryByValue(r *core.Registry) core.Registry { // want "returns by value"
+	return *r // want "copies a Registry"
+}
+
+// registryArgCopy passes a dereferenced registry to a by-value
+// parameter.
+func registryArgCopy(r *core.Registry) {
+	registrySink(*r) // want "copies a Registry"
+}
+
+func registrySink(core.Registry) {} // want "passes by value"
+
 // ok shares controllers through pointers and must not be reported.
-func ok(l *core.Loop, f *core.Func, a *core.App) {
+func ok(l *core.Loop, f *core.Func, f2 *core.Func2, a *core.App, r *core.Registry) {
 	a.Register(l)
 	a.Register(f)
+	_ = r.Register(l)
+	_ = f2.Call(1, 2)
 }

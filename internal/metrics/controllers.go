@@ -1,0 +1,55 @@
+package metrics
+
+import "green/internal/core"
+
+// Per-controller observability rows. A serving process hosts one or more
+// approximation controllers through a core.Registry; /stats-style
+// surfaces render every registered controller uniformly — level, loss,
+// counters, breaker health — instead of hard-wiring fields for one loop.
+
+// ControllerStats is the JSON-ready snapshot of one registered
+// controller.
+type ControllerStats struct {
+	// Name is the controller's registered name.
+	Name string `json:"name"`
+	// SLA is the controller's configured QoS loss bound.
+	SLA float64 `json:"sla"`
+	// Level is the controller's scalar approximation level (iteration
+	// threshold M for loops, the precision offset for function ladders).
+	Level float64 `json:"level"`
+	// Executions and Monitored are the controller's runtime counters.
+	Executions int64 `json:"executions"`
+	Monitored  int64 `json:"monitored"`
+	// MeanLoss is the mean observed QoS loss over monitored executions.
+	MeanLoss float64 `json:"mean_loss"`
+	// ApproxEnabled reports whether approximation is currently active.
+	ApproxEnabled bool `json:"approx_enabled"`
+	// Breaker is the controller's panic-containment breaker snapshot.
+	Breaker core.BreakerStats `json:"breaker"`
+}
+
+// CollectController snapshots one controller.
+func CollectController(c core.Controller) ControllerStats {
+	executions, monitored, meanLoss := c.Stats()
+	return ControllerStats{
+		Name:          c.Name(),
+		SLA:           c.SLA(),
+		Level:         c.Level(),
+		Executions:    executions,
+		Monitored:     monitored,
+		MeanLoss:      meanLoss,
+		ApproxEnabled: c.ApproxEnabled(),
+		Breaker:       c.Breaker(),
+	}
+}
+
+// CollectControllers snapshots every controller registered in reg, in
+// registration order (deterministic output for reports and tests).
+func CollectControllers(reg *core.Registry) []ControllerStats {
+	cs := reg.Controllers()
+	out := make([]ControllerStats, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, CollectController(c))
+	}
+	return out
+}

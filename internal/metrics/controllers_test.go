@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"testing"
+
+	"green/internal/core"
+	"green/internal/model"
+)
+
+// flatQoS drives the loop fixture with a constant observed loss.
+type flatQoS struct{ loss float64 }
+
+func (q *flatQoS) Record(int)       {}
+func (q *flatQoS) Loss(int) float64 { return q.loss }
+
+func testRegistry(t *testing.T) (*core.Registry, *core.Loop) {
+	t.Helper()
+	m, err := model.BuildLoopModel("stats-loop", []model.CalPoint{
+		{Level: 100, QoSLoss: 0.2, Work: 100}, {Level: 200, QoSLoss: 0.05, Work: 200}, {Level: 400, QoSLoss: 0, Work: 400},
+	}, 400, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := core.NewLoop(core.LoopConfig{Name: "stats-loop", Model: m, SLA: 0.1, SampleInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := model.BuildFuncModel("stats-func", 8, []model.VersionCurve{
+		{Name: "fast", Work: 2, Samples: []model.FuncSample{{X: 0, Loss: 0.01}, {X: 10, Loss: 0.01}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFunc(core.FuncConfig{
+		Name: "stats-func", Model: fm, SLA: 0.1, SampleInterval: 1,
+	}, func(x float64) float64 { return x * x },
+		[]core.Fn{func(x float64) float64 { return x * x * 1.01 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	if err := reg.Register(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	return reg, l
+}
+
+func TestCollectControllers(t *testing.T) {
+	reg, l := testRegistry(t)
+	rows := CollectControllers(reg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Name != "stats-loop" || rows[1].Name != "stats-func" {
+		t.Errorf("row order = [%s %s], want registration order", rows[0].Name, rows[1].Name)
+	}
+	if rows[0].SLA != 0.1 || rows[0].Level != l.Level() {
+		t.Errorf("loop row = %+v, want SLA 0.1 level %v", rows[0], l.Level())
+	}
+	for _, r := range rows {
+		if !r.ApproxEnabled {
+			t.Errorf("%s: ApproxEnabled = false on a fresh controller", r.Name)
+		}
+		if r.Breaker.State != core.BreakerClosed {
+			t.Errorf("%s: breaker %v, want closed", r.Name, r.Breaker.State)
+		}
+		if r.Executions != 0 || r.Monitored != 0 {
+			t.Errorf("%s: counters (%d,%d) on a fresh controller", r.Name, r.Executions, r.Monitored)
+		}
+	}
+}
+
+func TestCollectControllersTracksRuntime(t *testing.T) {
+	reg, l := testRegistry(t)
+	for run := 0; run < 5; run++ {
+		e, _ := l.Begin(&flatQoS{loss: 0.02})
+		i := 0
+		for ; i < 400 && e.Continue(i); i++ {
+		}
+		e.Finish(i)
+	}
+	rows := CollectControllers(reg)
+	if rows[0].Executions != 5 {
+		t.Errorf("loop executions = %d, want 5", rows[0].Executions)
+	}
+	if rows[0].Monitored == 0 {
+		t.Error("loop monitored = 0 with SampleInterval 1")
+	}
+}

@@ -185,6 +185,38 @@ func (s *Store) Load(name, modelSig string) ([]byte, error) {
 	return env.Payload, nil
 }
 
+// Snapshotter is the checkpointing surface the core controllers and the
+// controller Registry share: marshal the runtime state to JSON, restore
+// it from JSON with the owner's own validation. persist operates on this
+// interface only — it never knows which controller kind (or how many,
+// in the Registry case) stands behind a snapshot.
+type Snapshotter interface {
+	MarshalState() ([]byte, error)
+	RestoreStateJSON(data []byte) error
+}
+
+// SaveFrom snapshots src's current state under name (see Save for the
+// crash-safe write protocol and modelSig binding).
+func (s *Store) SaveFrom(name, modelSig string, src Snapshotter) error {
+	payload, err := src.MarshalState()
+	if err != nil {
+		return fmt.Errorf("persist: marshal state for %q: %w", name, err)
+	}
+	return s.Save(name, modelSig, payload)
+}
+
+// LoadInto loads and validates the snapshot for name and hands the
+// payload to dst's own restore validation. Envelope failures carry the
+// package's typed errors (ErrCorrupt, ErrVersion, ErrForeignModel);
+// restore rejections are dst's descriptive errors.
+func (s *Store) LoadInto(name, modelSig string, dst Snapshotter) error {
+	payload, err := s.Load(name, modelSig)
+	if err != nil {
+		return err
+	}
+	return dst.RestoreStateJSON(payload)
+}
+
 // short abbreviates a signature for error messages.
 func short(sig string) string {
 	if len(sig) > 12 {

@@ -230,3 +230,80 @@ func TestSignatureStableAndDiscriminating(t *testing.T) {
 		t.Error("signature identical across different seeds")
 	}
 }
+
+// fakeSnapshotter round-trips a JSON blob and can be scripted to fail.
+type fakeSnapshotter struct {
+	state    map[string]int
+	restored []byte
+	failWith error
+}
+
+func (f *fakeSnapshotter) MarshalState() ([]byte, error) {
+	if f.failWith != nil {
+		return nil, f.failWith
+	}
+	return json.Marshal(f.state)
+}
+
+func (f *fakeSnapshotter) RestoreStateJSON(data []byte) error {
+	if f.failWith != nil {
+		return f.failWith
+	}
+	f.restored = append([]byte(nil), data...)
+	return json.Unmarshal(data, &f.state)
+}
+
+func TestSaveFromLoadIntoRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeSnapshotter{state: map[string]int{"level": 7}}
+	if err := s.SaveFrom("ctrl", "sig", src); err != nil {
+		t.Fatal(err)
+	}
+	dst := &fakeSnapshotter{}
+	if err := s.LoadInto("ctrl", "sig", dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.state["level"] != 7 {
+		t.Errorf("restored state = %v", dst.state)
+	}
+}
+
+func TestSaveFromPropagatesMarshalFailure(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("marshal boom")
+	if err := s.SaveFrom("ctrl", "", &fakeSnapshotter{failWith: boom}); !errors.Is(err, boom) {
+		t.Errorf("SaveFrom error = %v, want wrapping %v", err, boom)
+	}
+	if _, err := os.Stat(s.Path("ctrl")); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("failed SaveFrom left a snapshot file behind")
+	}
+}
+
+func TestLoadIntoKeepsTypedEnvelopeErrors(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := &fakeSnapshotter{}
+	if err := s.LoadInto("absent", "", dst); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing snapshot error = %v, want fs.ErrNotExist", err)
+	}
+	src := &fakeSnapshotter{state: map[string]int{"a": 1}}
+	if err := s.SaveFrom("ctrl", "sig-a", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadInto("ctrl", "sig-b", dst); !errors.Is(err, ErrForeignModel) {
+		t.Errorf("foreign-model error = %v, want ErrForeignModel", err)
+	}
+	// Restore rejections are the snapshotter's own.
+	boom := errors.New("restore boom")
+	if err := s.LoadInto("ctrl", "sig-a", &fakeSnapshotter{failWith: boom}); !errors.Is(err, boom) {
+		t.Errorf("LoadInto error = %v, want %v", err, boom)
+	}
+}

@@ -1,0 +1,95 @@
+package search
+
+// ScanAnd is the incremental form of SearchAnd: conjunctive matches are
+// scored one Step at a time so the per-query intersection loop can sit
+// under a Green loop controller, exactly as Scan does for the
+// disjunctive path. The intersection is driven from the rarest posting
+// list; each Step advances the lead cursor until it scores the next
+// document containing every query term.
+type ScanAnd struct {
+	engine *Engine
+	lists  [][]Posting
+	idfs   []float64
+	pos    []int
+	lead   int
+	heap   *topN
+	n      int
+	dead   bool // a term had no postings: no conjunctive match exists
+}
+
+// NewScanAnd starts an incremental conjunctive execution of q keeping
+// the best topN documents.
+func (e *Engine) NewScanAnd(q Query, topN int) *ScanAnd {
+	s := &ScanAnd{engine: e, heap: newTopN(topN)}
+	if topN <= 0 || len(q.Terms) == 0 {
+		s.dead = true
+		return s
+	}
+	for _, t := range q.Terms {
+		if t < 0 || t >= len(e.postings) || len(e.postings[t]) == 0 {
+			s.dead = true
+			return s
+		}
+		s.lists = append(s.lists, e.postings[t])
+		s.idfs = append(s.idfs, e.idf[t])
+	}
+	s.pos = make([]int, len(s.lists))
+	for i := range s.lists {
+		if len(s.lists[i]) < len(s.lists[s.lead]) {
+			s.lead = i
+		}
+	}
+	return s
+}
+
+// Step scores the next conjunctively matching document and reports
+// whether one existed.
+func (s *ScanAnd) Step() bool {
+	if s.dead {
+		return false
+	}
+	e := s.engine
+	for s.pos[s.lead] < len(s.lists[s.lead]) {
+		doc := s.lists[s.lead][s.pos[s.lead]].Doc
+		s.pos[s.lead]++
+		inAll := true
+		score := e.quality[doc]
+		for i := range s.lists {
+			if i == s.lead {
+				tf := float64(s.lists[i][s.pos[i]-1].TF)
+				norm := bm25K1 * (1 - bm25B + bm25B*float64(e.docLen[doc])/e.avgLen)
+				score += s.idfs[i] * tf * (bm25K1 + 1) / (tf + norm)
+				continue
+			}
+			for s.pos[i] < len(s.lists[i]) && s.lists[i][s.pos[i]].Doc < doc {
+				s.pos[i]++
+			}
+			if s.pos[i] >= len(s.lists[i]) || s.lists[i][s.pos[i]].Doc != doc {
+				inAll = false
+				break
+			}
+			tf := float64(s.lists[i][s.pos[i]].TF)
+			norm := bm25K1 * (1 - bm25B + bm25B*float64(e.docLen[doc])/e.avgLen)
+			score += s.idfs[i] * tf * (bm25K1 + 1) / (tf + norm)
+		}
+		if !inAll {
+			continue
+		}
+		s.heap.push(Result{Doc: doc, Score: score})
+		s.n++
+		return true
+	}
+	return false
+}
+
+// Processed returns the number of conjunctive matches scored so far.
+func (s *ScanAnd) Processed() int { return s.n }
+
+// TopN returns the current ranked top-N document ids.
+func (s *ScanAnd) TopN() []int { return s.heap.ranked() }
+
+// Exhausted reports whether the lead posting list has been fully
+// consumed (no further conjunctive match can exist).
+func (s *ScanAnd) Exhausted() bool {
+	return s.dead || s.pos[s.lead] >= len(s.lists[s.lead])
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"testing"
+
+	"green/internal/metrics"
+)
+
+func TestScanAndMatchesSearchAnd(t *testing.T) {
+	e := smallEngine(t)
+	qs, err := e.GenerateQueries(33, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		want, wantN := e.SearchAnd(q, 10, 0)
+		s := e.NewScanAnd(q, 10)
+		for s.Step() {
+		}
+		if s.Processed() != wantN {
+			t.Fatalf("query %d: scan processed %d, SearchAnd %d", q.ID, s.Processed(), wantN)
+		}
+		if !metrics.TopNExactMatch(want, s.TopN()) {
+			t.Fatalf("query %d: scan top-N differs from SearchAnd", q.ID)
+		}
+		if !s.Exhausted() {
+			t.Fatalf("query %d: scan not exhausted after full drain", q.ID)
+		}
+	}
+}
+
+func TestScanAndPrefixMatchesCappedSearchAnd(t *testing.T) {
+	e := smallEngine(t)
+	q := Query{Terms: []int{0, 2}}
+	want, wantN := e.SearchAnd(q, 10, 5)
+	s := e.NewScanAnd(q, 10)
+	for i := 0; i < 5 && s.Step(); i++ {
+	}
+	if s.Processed() != wantN {
+		t.Fatalf("processed %d vs capped SearchAnd %d", s.Processed(), wantN)
+	}
+	if !metrics.TopNExactMatch(want, s.TopN()) {
+		t.Fatal("prefix scan differs from capped SearchAnd")
+	}
+}
+
+func TestScanAndIsSubsetOfDisjunctive(t *testing.T) {
+	// Every conjunctive match is by definition a disjunctive match, so a
+	// multi-term AND scan can never process more documents than the OR
+	// scan of the same query.
+	e := smallEngine(t)
+	q := Query{Terms: []int{0, 1}}
+	and := e.NewScanAnd(q, 10)
+	for and.Step() {
+	}
+	or := e.NewScan(q, 10)
+	for or.Step() {
+	}
+	if and.Processed() > or.Processed() {
+		t.Fatalf("AND matched %d docs, OR only %d", and.Processed(), or.Processed())
+	}
+}
+
+func TestScanAndDeadCases(t *testing.T) {
+	e := smallEngine(t)
+	for name, s := range map[string]*ScanAnd{
+		"empty query":  e.NewScanAnd(Query{}, 10),
+		"zero topN":    e.NewScanAnd(Query{Terms: []int{0}}, 0),
+		"unknown term": e.NewScanAnd(Query{Terms: []int{0, 1 << 30}}, 10),
+	} {
+		if s.Step() {
+			t.Errorf("%s: Step returned true", name)
+		}
+		if !s.Exhausted() || s.Processed() != 0 {
+			t.Errorf("%s: state not dead", name)
+		}
+	}
+}
+
+func TestScanAndTopNStabilizes(t *testing.T) {
+	e := smallEngine(t)
+	s := e.NewScanAnd(Query{Terms: []int{0, 1}}, 5)
+	for s.Step() {
+	}
+	before := s.TopN()
+	s.Step()
+	after := s.TopN()
+	if !metrics.TopNExactMatch(before, after) {
+		t.Error("top-N changed after exhaustion")
+	}
+}

@@ -101,7 +101,7 @@ func TestChaosServiceSurvivesAndRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := chaos.CorruptFile(store.Path(snapshotName), 13); err != nil {
+	if err := chaos.CorruptFile(store.Path(stateName), 13); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := New(cfg)

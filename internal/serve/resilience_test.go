@@ -179,7 +179,7 @@ func TestSnapshotRestoreAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := chaos.CorruptFile(store.Path(snapshotName), 3); err != nil {
+	if err := chaos.CorruptFile(store.Path(stateName), 3); err != nil {
 		t.Fatal(err)
 	}
 	s3 := resilientServer(t, mutate)

@@ -34,6 +34,7 @@ import (
 	"hash/fnv"
 	"io/fs"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,13 +43,21 @@ import (
 	"green/internal/chaos"
 	"green/internal/core"
 	"green/internal/metrics"
+	"green/internal/model"
 	"green/internal/persist"
 	"green/internal/search"
 	"green/internal/workload"
 )
 
-// snapshotName keys the loop controller's snapshot in the state store.
-const snapshotName = "serve.match"
+const (
+	// snapshotName names the disjunctive match-loop controller.
+	snapshotName = "serve.match"
+	// andLoopName names the optional conjunctive-scan controller.
+	andLoopName = "serve.and"
+	// stateName keys the bundled registry snapshot (all registered
+	// controllers in one file) in the state store.
+	stateName = "serve.controllers"
+)
 
 // Config configures the service.
 type Config struct {
@@ -73,6 +82,11 @@ type Config struct {
 	// loop controller is still installed, but QoS_Approx always answers
 	// "do not approximate".
 	Disabled bool
+	// ApproxAnd installs a second approximation site: the conjunctive
+	// (mode=and) scan runs under its own loop controller, calibrated
+	// against the precise conjunctive results. Off by default —
+	// conjunctive match sets are usually short enough to serve precisely.
+	ApproxAnd bool
 
 	// MaxInFlight caps concurrently served /search requests; excess
 	// requests are shed with 503 + Retry-After rather than queued
@@ -126,11 +140,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the Green-approximated search service.
+// Server is the Green-approximated search service. Every approximation
+// site it hosts is a controller registered in reg; the persistence,
+// stats, and readiness surfaces enumerate the registry rather than
+// hard-wiring any single controller.
 type Server struct {
 	cfg    Config
 	engine *search.Engine
-	loop   *core.Loop
+	reg    *core.Registry
+	loop   *core.Loop // the disjunctive match loop (always registered)
+	and    *core.Loop // the conjunctive loop; nil unless cfg.ApproxAnd
 
 	queries    atomic.Int64
 	docsScored atomic.Int64
@@ -141,11 +160,12 @@ type Server struct {
 	monitoredQueries  atomic.Int64
 
 	// Resilience state.
-	inFlight    atomic.Int64
-	ops         metrics.OpsCounters
-	store       *persist.Store
-	modelSig    string
-	restoreNote string // "disabled" | "cold" | "restored" | "rejected: …"
+	inFlight      atomic.Int64
+	ops           metrics.OpsCounters
+	store         *persist.Store
+	modelSig      string
+	restoreNote   string // "disabled" | "cold" | "restored" | "rejected: …"
+	restoreReport core.RestoreReport
 }
 
 // New builds the corpus, runs the calibration phase, constructs the
@@ -160,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: c, engine: engine, restoreNote: "disabled"}
+	s := &Server{cfg: c, engine: engine, reg: core.NewRegistry(), restoreNote: "disabled"}
 
 	// Calibration phase.
 	calQueries, err := engine.GenerateQueries(workload.Split(c.Seed, 1), c.CalibrationQueries)
@@ -168,17 +188,69 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	knots := []float64{100, 250, 500, 1000, 2500, 5000, 10000}
-	baseLevel := float64(engine.Docs())
-	cal, err := core.NewLoopCalibration(snapshotName, knots, baseLevel, baseLevel)
+	m, err := s.calibrateLoop(snapshotName, knots, calQueries, func(q search.Query, maxDocs int) ([]int, int) {
+		return engine.Search(q, c.TopN, maxDocs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.loop, err = s.newServeLoop(snapshotName, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reg.Register(s.loop); err != nil {
+		return nil, err
+	}
+
+	// The signature binds snapshots to the exact calibration and serving
+	// configuration: a different corpus seed, size, SLA, page size, or
+	// site layout invalidates the persisted levels.
+	sigParts := []any{m, c.SLA, c.Seed, engine.Docs(), c.TopN}
+
+	if c.ApproxAnd {
+		// Conjunctive match streams are much shorter than disjunctive
+		// ones, so the candidate levels sit correspondingly lower.
+		andKnots := []float64{5, 10, 25, 50, 100, 250}
+		mAnd, err := s.calibrateLoop(andLoopName, andKnots, calQueries, func(q search.Query, maxDocs int) ([]int, int) {
+			return engine.SearchAnd(q, c.TopN, maxDocs)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.and, err = s.newServeLoop(andLoopName, mAnd)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.reg.Register(s.and); err != nil {
+			return nil, err
+		}
+		sigParts = append(sigParts, mAnd, "and")
+	}
+
+	if c.StateDir != "" {
+		if err := s.openStateAndRestore(sigParts); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// calibrateLoop runs the calibration phase for one scan shape: for each
+// training query, the loss and work of capping the scan at each
+// candidate level, against the uncapped (precise) result of the same
+// run function.
+func (s *Server) calibrateLoop(name string, knots []float64, calQueries []search.Query, run func(q search.Query, maxDocs int) ([]int, int)) (*model.LoopModel, error) {
+	baseLevel := float64(s.engine.Docs())
+	cal, err := core.NewLoopCalibration(name, knots, baseLevel, baseLevel)
 	if err != nil {
 		return nil, err
 	}
 	losses := make([]float64, len(knots))
 	work := make([]float64, len(knots))
 	for _, q := range calQueries {
-		precise, _ := engine.Search(q, c.TopN, 0)
+		precise, _ := run(q, 0)
 		for i, k := range knots {
-			approx, processed := engine.Search(q, c.TopN, int(k))
+			approx, processed := run(q, int(k))
 			losses[i] = metrics.QueryLoss(precise, approx)
 			work[i] = float64(processed)
 		}
@@ -186,81 +258,120 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	m, err := cal.Build()
-	if err != nil {
-		return nil, err
-	}
-	s.loop, err = core.NewLoop(core.LoopConfig{
-		Name: snapshotName, Model: m, SLA: c.SLA,
-		SampleInterval: c.SampleInterval,
-		Policy: &core.WindowedPolicy{
-			Window: 100, BaseInterval: c.SampleInterval,
-		},
-		Disabled:         c.Disabled,
-		BreakerThreshold: c.BreakerThreshold,
-		BreakerCooldown:  c.BreakerCooldown,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return cal.Build()
+}
 
-	if c.StateDir != "" {
-		if err := s.openStateAndRestore(m); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
+// newServeLoop constructs one serving loop controller with the
+// service-wide SLA, monitoring cadence, and breaker tuning.
+func (s *Server) newServeLoop(name string, m *model.LoopModel) (*core.Loop, error) {
+	return core.NewLoop(core.LoopConfig{
+		Name: name, Model: m, SLA: s.cfg.SLA,
+		SampleInterval: s.cfg.SampleInterval,
+		Policy: &core.WindowedPolicy{
+			Window: 100, BaseInterval: s.cfg.SampleInterval,
+		},
+		Disabled:         s.cfg.Disabled,
+		BreakerThreshold: s.cfg.BreakerThreshold,
+		BreakerCooldown:  s.cfg.BreakerCooldown,
+	})
 }
 
 // openStateAndRestore opens the state store and applies the persisted
-// snapshot if one exists and survives validation. Restore failures are
-// *recorded*, never fatal: a service must come up (cold) from any
-// on-disk state, including a corrupted or foreign snapshot.
-func (s *Server) openStateAndRestore(m any) error {
+// registry bundle if one exists and survives validation. Restore
+// failures are *recorded*, never fatal: a service must come up (cold)
+// from any on-disk state, including a corrupted or foreign snapshot —
+// and a bundle with one poisoned entry still restores every other
+// controller.
+func (s *Server) openStateAndRestore(sigParts []any) error {
 	store, err := persist.Open(s.cfg.StateDir)
 	if err != nil {
 		return err
 	}
-	// The signature binds snapshots to the exact calibration and serving
-	// configuration: a different corpus seed, size, SLA, or page size
-	// invalidates the persisted levels.
-	sig, err := persist.Signature(m, s.cfg.SLA, s.cfg.Seed, s.engine.Docs(), s.cfg.TopN)
+	sig, err := persist.Signature(sigParts...)
 	if err != nil {
 		return err
 	}
 	s.store, s.modelSig = store, sig
-	switch data, err := store.Load(snapshotName, sig); {
+	s.restoreReport = make(core.RestoreReport)
+	switch data, err := store.Load(stateName, sig); {
 	case err == nil:
-		if rerr := s.loop.RestoreStateJSON(data); rerr != nil {
+		rep, rerr := s.reg.RestoreAllJSON(data)
+		if rerr != nil {
+			// The bundle itself is unusable (decode/version failure).
 			s.ops.RestoreRejected.Add(1)
 			s.restoreNote = "rejected: " + rerr.Error()
-		} else {
-			s.restoreNote = "restored"
+			s.noteAllControllers(s.restoreNote)
+			return nil
+		}
+		s.restoreReport = rep
+		s.restoreNote = summarizeRestore(rep)
+		if rep.Rejected() {
+			s.ops.RestoreRejected.Add(1)
 		}
 	case errors.Is(err, fs.ErrNotExist):
 		s.restoreNote = "cold"
+		s.noteAllControllers("cold")
 	default:
 		// Corrupt, torn, foreign, or wrong-version snapshot: start cold.
 		s.ops.RestoreRejected.Add(1)
 		s.restoreNote = "rejected: " + err.Error()
+		s.noteAllControllers(s.restoreNote)
 	}
 	return nil
+}
+
+// noteAllControllers records one outcome for every registered controller
+// (the whole-bundle cases, where no per-controller restore ran).
+func (s *Server) noteAllControllers(note string) {
+	for _, name := range s.reg.Names() {
+		s.restoreReport[name] = note
+	}
+}
+
+// summarizeRestore folds a per-controller restore report into the
+// service-level note: any rejection surfaces first (with its
+// controller), else one restored controller makes the boot "restored",
+// else everything came up cold.
+func summarizeRestore(rep core.RestoreReport) string {
+	restored := false
+	for _, name := range sortedNames(rep) {
+		note := rep[name]
+		if strings.HasPrefix(note, "rejected:") {
+			return "rejected: " + name + ": " + strings.TrimSpace(strings.TrimPrefix(note, "rejected:"))
+		}
+		if note == "restored" {
+			restored = true
+		}
+	}
+	if restored {
+		return "restored"
+	}
+	return "cold"
+}
+
+func sortedNames(rep core.RestoreReport) []string {
+	names := make([]string, 0, len(rep))
+	for name := range rep {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // RestoreNote reports what happened to the persisted state at startup.
 func (s *Server) RestoreNote() string { return s.restoreNote }
 
-// SaveState writes one crash-safe snapshot of the controller state now.
-// A no-op without a state directory.
+// RestoreReport reports the per-controller restore outcomes at startup
+// (nil when persistence is disabled).
+func (s *Server) RestoreReport() core.RestoreReport { return s.restoreReport }
+
+// SaveState writes one crash-safe snapshot of every registered
+// controller's state now. A no-op without a state directory.
 func (s *Server) SaveState() error {
 	if s.store == nil {
 		return nil
 	}
-	data, err := s.loop.MarshalState()
-	if err == nil {
-		err = s.store.Save(snapshotName, s.modelSig, data)
-	}
-	if err != nil {
+	if err := s.store.SaveFrom(stateName, s.modelSig, s.reg); err != nil {
 		s.ops.SnapshotErrors.Add(1)
 		return err
 	}
@@ -348,27 +459,32 @@ type statsResponse struct {
 	DocsPrecise       int64   `json:"docs_precise_equivalent"`
 	WorkSavedFraction float64 `json:"work_saved_fraction"`
 
-	// Resilience surface.
-	Degraded        bool                `json:"degraded"`
-	DegradedReasons []string            `json:"degraded_reasons,omitempty"`
-	BreakerState    string              `json:"breaker_state"`
-	BreakerTrips    int64               `json:"breaker_trips"`
-	ContainedPanics int64               `json:"contained_panics"`
-	InFlight        int64               `json:"in_flight"`
-	Restore         string              `json:"restore"`
-	Ops             metrics.OpsSnapshot `json:"ops"`
+	// Resilience surface. The flat breaker fields describe the match
+	// loop (backward compatible); Controllers carries one row per
+	// registered controller.
+	Degraded        bool                      `json:"degraded"`
+	DegradedReasons []string                  `json:"degraded_reasons,omitempty"`
+	BreakerState    string                    `json:"breaker_state"`
+	BreakerTrips    int64                     `json:"breaker_trips"`
+	ContainedPanics int64                     `json:"contained_panics"`
+	InFlight        int64                     `json:"in_flight"`
+	Restore         string                    `json:"restore"`
+	RestoreDetail   map[string]string         `json:"restore_controllers,omitempty"`
+	Controllers     []metrics.ControllerStats `json:"controllers"`
+	Ops             metrics.OpsSnapshot       `json:"ops"`
 }
 
 // configResponse is the /config JSON shape.
 type configResponse struct {
-	SLA            float64 `json:"sla"`
-	TopN           int     `json:"top_n"`
-	SampleInterval int     `json:"sample_interval"`
-	CorpusDocs     int     `json:"corpus_docs"`
-	InitialM       float64 `json:"initial_m"`
-	MaxInFlight    int     `json:"max_in_flight"`
-	RequestTimeout string  `json:"request_timeout"`
-	StateDir       string  `json:"state_dir,omitempty"`
+	SLA            float64  `json:"sla"`
+	TopN           int      `json:"top_n"`
+	SampleInterval int      `json:"sample_interval"`
+	CorpusDocs     int      `json:"corpus_docs"`
+	InitialM       float64  `json:"initial_m"`
+	MaxInFlight    int      `json:"max_in_flight"`
+	RequestTimeout string   `json:"request_timeout"`
+	StateDir       string   `json:"state_dir,omitempty"`
+	Controllers    []string `json:"controllers"`
 }
 
 // readyzResponse is the /readyz JSON shape.
@@ -419,11 +535,15 @@ func (s *Server) withResilience(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // degradedReasons reports why the service is not at full quality (empty
-// when it is).
+// when it is). Every registered controller contributes its breaker
+// state, so a server hosting several approximation sites reports which
+// one is degraded.
 func (s *Server) degradedReasons() []string {
 	var reasons []string
-	if b := s.loop.Breaker(); b.State != core.BreakerClosed {
-		reasons = append(reasons, "breaker-"+b.State.String())
+	for _, c := range s.reg.Controllers() {
+		if b := c.Breaker(); b.State != core.BreakerClosed {
+			reasons = append(reasons, "breaker-"+b.State.String()+"("+c.Name()+")")
+		}
 	}
 	if s.cfg.MaxInFlight > 0 && s.inFlight.Load() >= int64(s.cfg.MaxInFlight) {
 		reasons = append(reasons, "shedding")
@@ -443,19 +563,29 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// serveQuery runs one query under the loop controller, honoring the
-// request context: if the deadline expires mid-scan the partial
-// results scored so far are returned, marked degraded.
-func (s *Server) serveQuery(ctx context.Context, q search.Query) (*searchResponse, error) {
+// docScanner is the incremental scan surface serveQuery drives — both
+// the disjunctive Scan and the conjunctive ScanAnd satisfy it.
+type docScanner interface {
+	Step() bool
+	Processed() int
+	TopN() []int
+}
+
+// serveQuery runs one query's scan under the given loop controller,
+// honoring the request context: if the deadline expires mid-scan the
+// partial results scored so far are returned, marked degraded. and
+// selects the conjunctive QoS comparison (the monitored precise rerun
+// must execute the same retrieval semantics as the approximated scan).
+func (s *Server) serveQuery(ctx context.Context, loop *core.Loop, scan docScanner, q search.Query, and bool) (*searchResponse, error) {
 	qos := serveQoSPool.Get().(*serveQoS)
 	qos.engine, qos.query, qos.topN = s.engine, q, s.cfg.TopN
 	qos.chaos = s.cfg.Chaos
-	exec, err := s.loop.Begin(qos)
+	qos.and = and
+	exec, err := loop.Begin(qos)
 	if err != nil {
 		qos.release()
 		return nil, err
 	}
-	scan := s.engine.NewScan(q, s.cfg.TopN)
 	i := 0
 	// An already-expired deadline still serves (an empty page beats an
 	// error); mid-scan, the deadline check is amortized over 64 scored
@@ -497,9 +627,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	terms := s.termsOf(qstr)
+	q := search.Query{Terms: terms}
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "or":
-		resp, err := s.serveQuery(r.Context(), search.Query{Terms: terms})
+		resp, err := s.serveQuery(r.Context(), s.loop, s.engine.NewScan(q, s.cfg.TopN), q, false)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -507,10 +638,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Query = qstr
 		writeJSON(w, resp)
 	case "and":
-		// Strict conjunctive queries bypass approximation: the QoS model
-		// was calibrated for the disjunctive scan, and conjunctive match
-		// sets are short enough to serve precisely.
-		docs, n := s.engine.SearchAnd(search.Query{Terms: terms}, s.cfg.TopN, 0)
+		if s.and != nil {
+			// The conjunctive scan is its own registered approximation
+			// site, with its own calibrated model and controller.
+			resp, err := s.serveQuery(r.Context(), s.and, s.engine.NewScanAnd(q, s.cfg.TopN), q, true)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			resp.Query = qstr
+			writeJSON(w, resp)
+			return
+		}
+		// Without ApproxAnd, strict conjunctive queries bypass
+		// approximation: conjunctive match sets are short enough to serve
+		// precisely.
+		docs, n := s.engine.SearchAnd(q, s.cfg.TopN, 0)
 		s.queries.Add(1)
 		s.docsScored.Add(int64(n))
 		writeJSON(w, &searchResponse{Query: qstr, Docs: docs, DocsScored: n})
@@ -552,6 +695,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ContainedPanics:   brk.ContainedPanics,
 		InFlight:          s.inFlight.Load(),
 		Restore:           s.restoreNote,
+		RestoreDetail:     s.restoreReport,
+		Controllers:       metrics.CollectControllers(s.reg),
 		Ops:               s.ops.Snapshot(),
 	})
 }
@@ -566,6 +711,7 @@ func (s *Server) handleConfig(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:    s.cfg.MaxInFlight,
 		RequestTimeout: s.cfg.RequestTimeout.String(),
 		StateDir:       s.cfg.StateDir,
+		Controllers:    s.reg.Names(),
 	})
 }
 
@@ -576,8 +722,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// Loop exposes the controller, for operational tooling and tests.
+// Loop exposes the match-loop controller, for operational tooling and
+// tests.
 func (s *Server) Loop() *core.Loop { return s.loop }
+
+// AndLoop exposes the conjunctive-scan controller (nil unless
+// Config.ApproxAnd).
+func (s *Server) AndLoop() *core.Loop { return s.and }
+
+// Registry exposes the controller registry, for operational tooling and
+// tests.
+func (s *Server) Registry() *core.Registry { return s.reg }
 
 // Engine exposes the search engine, for tests.
 func (s *Server) Engine() *search.Engine { return s.engine }
@@ -596,6 +751,9 @@ type serveQoS struct {
 	topN     int
 	recorded []int
 	chaos    *chaos.Injector
+	// and selects the conjunctive retrieval for both the monitored
+	// snapshot and the precise rerun, matching the scan being judged.
+	and bool
 }
 
 var serveQoSPool = sync.Pool{New: func() any { return new(serveQoS) }}
@@ -608,12 +766,21 @@ func (q *serveQoS) release() {
 func (q *serveQoS) Record(iter int) {
 	q.chaos.MaybeDelay("qos.record")
 	q.chaos.MaybePanic("qos.record")
-	q.recorded, _ = q.engine.Search(q.query, q.topN, iter)
+	if q.and {
+		q.recorded, _ = q.engine.SearchAnd(q.query, q.topN, iter)
+	} else {
+		q.recorded, _ = q.engine.Search(q.query, q.topN, iter)
+	}
 }
 
 func (q *serveQoS) Loss(int) float64 {
 	q.chaos.MaybeDelay("qos.loss")
 	q.chaos.MaybePanic("qos.loss")
-	precise, _ := q.engine.Search(q.query, q.topN, 0)
+	var precise []int
+	if q.and {
+		precise, _ = q.engine.SearchAnd(q.query, q.topN, 0)
+	} else {
+		precise, _ = q.engine.Search(q.query, q.topN, 0)
+	}
 	return metrics.QueryLoss(precise, q.recorded)
 }

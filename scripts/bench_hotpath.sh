@@ -1,9 +1,9 @@
 #!/bin/sh
 # Records the operational-hot-path perf trajectory: runs the
-# BenchmarkLoopHotPath* / BenchmarkCombineSearchSpace families and emits
-# one JSON object (ns/op, allocs/op, and the combination search's
-# evaluated-combos count) suitable for a "before"/"after" entry in
-# BENCH_hotpath.json.
+# BenchmarkLoopHotPath* / BenchmarkFunc2HotPath* /
+# BenchmarkCombineSearchSpace families and emits one JSON object
+# (ns/op, allocs/op, and the combination search's evaluated-combos
+# count) suitable for a "before"/"after" entry in BENCH_hotpath.json.
 #
 # Usage:
 #
@@ -24,7 +24,7 @@ while [ $# -gt 0 ]; do
 	esac
 done
 
-raw=$(go test -run xxx -bench 'LoopHotPath|CombineSearchSpace' \
+raw=$(go test -run xxx -bench 'LoopHotPath|Func2HotPath|CombineSearchSpace' \
 	-benchmem -benchtime "$benchtime" -count 1 .)
 
 json=$(printf '%s\n' "$raw" | awk '

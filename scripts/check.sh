@@ -47,4 +47,26 @@ go test -race -count 1 -run TestChaosServiceSurvivesAndRecovers ./internal/serve
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 1x ./... > /dev/null
 
+echo "== hot path stays allocation-free =="
+# The steady-state operational paths (Loop Begin/Continue/Finish and the
+# unified Func2 Call) must not allocate: one heap object per execution
+# was the regression the controller-core rework removed, and it must not
+# creep back. ns/op is too noisy to gate on shared runners; allocs/op is
+# exact.
+go test -run xxx -bench 'LoopHotPath/steady|Func2HotPath/steady' \
+	-benchmem -benchtime 100x -count 1 . | awk '
+	/^Benchmark/ {
+		for (i = 2; i <= NF; i++) {
+			if ($i == "allocs/op" && $(i - 1) + 0 != 0) {
+				printf "FAIL: %s allocates %s allocs/op on the steady path\n", $1, $(i - 1)
+				bad = 1
+			}
+		}
+		seen++
+	}
+	END {
+		if (seen < 2) { print "FAIL: expected 2 steady-path benchmarks, saw " seen; exit 1 }
+		exit bad
+	}'
+
 echo "all checks passed"
