@@ -101,9 +101,19 @@ func TestGreenlintList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("greenlint -list exited %d:\n%s", code, out)
 	}
-	for _, check := range []string{"beginfinish", "continuecond", "slarange", "ctrlcopy", "calorder"} {
+	for _, check := range []string{
+		"beginfinish", "continuecond", "slarange", "ctrlcopy", "calorder",
+		"suggestreduce", "suggestconverge", "suggestscan",
+	} {
 		if !strings.Contains(out, check) {
 			t.Errorf("greenlint -list is missing check %q:\n%s", check, out)
+		}
+	}
+	// Every line carries the category column; both categories appear.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || (fields[1] != "contract" && fields[1] != "suggest") {
+			t.Errorf("list line missing category column: %q", line)
 		}
 	}
 }
@@ -174,6 +184,84 @@ func TestGreenlintSARIF(t *testing.T) {
 	}
 	if len(doc.Runs[0].Tool.Driver.Rules) == 0 {
 		t.Error("sarif driver lists no rules")
+	}
+}
+
+// TestGreenlintSuggestAdvisory checks the exit-status contract of
+// suggestion mode: candidates on stdout, exit 0 — discovery never
+// fails a build on its own — and -fail-on suggest opts into exit 1.
+func TestGreenlintSuggestAdvisory(t *testing.T) {
+	fixture := "internal/lint/testdata/suggest/dftkernel"
+	stdout, stderr, code := runSplit(t, "greenlint", "-suggest", fixture)
+	if code != 0 {
+		t.Fatalf("greenlint -suggest exited %d, want 0 (advisory):\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[suggestreduce]") {
+		t.Errorf("suggestion output missing [suggestreduce] finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "suggestion(s)") {
+		t.Errorf("stderr summary missing suggestion count:\n%s", stderr)
+	}
+
+	out, code := run(t, "greenlint", "-suggest", "-fail-on", "suggest", fixture)
+	if code != 1 {
+		t.Fatalf("greenlint -fail-on suggest exited %d, want 1:\n%s", code, out)
+	}
+
+	out, code = run(t, "greenlint", "-fail-on", "nosuch", fixture)
+	if code != 2 {
+		t.Fatalf("greenlint -fail-on nosuch exited %d, want 2:\n%s", code, out)
+	}
+}
+
+// TestGreenlintSuggestChecksRequireFlag: naming a suggestion check in
+// -checks without -suggest is a usage error listing the valid set.
+func TestGreenlintSuggestChecksRequireFlag(t *testing.T) {
+	out, code := run(t, "greenlint", "-checks", "suggestreduce", "internal/lint/testdata/suggest/dftkernel")
+	if code != 2 {
+		t.Fatalf("suggest-only -checks without -suggest exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-suggest") || !strings.Contains(out, "valid") {
+		t.Errorf("error does not point at -suggest with the valid set:\n%s", out)
+	}
+	// The same selection WITH -suggest runs fine.
+	out, code = run(t, "greenlint", "-suggest", "-checks", "suggestreduce", "internal/lint/testdata/suggest/dftkernel")
+	if code != 0 {
+		t.Fatalf("greenlint -suggest -checks suggestreduce exited %d:\n%s", code, out)
+	}
+}
+
+// TestGreenlintSuggestScaffolds checks -suggest-dir end to end: scaffold
+// files appear, and two runs produce byte-identical output (ranking is
+// a total order, so ordering must be deterministic).
+func TestGreenlintSuggestScaffolds(t *testing.T) {
+	fixture := "internal/lint/testdata/suggest/searchscan"
+	dir := t.TempDir()
+	out1, code := run(t, "greenlint", "-suggest", "-suggest-dir", dir, fixture)
+	if code != 0 {
+		t.Fatalf("greenlint -suggest -suggest-dir exited %d:\n%s", code, out1)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, fixture, "suggest_*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no scaffold files under %s (err %v):\n%s", dir, err, out1)
+	}
+	out2, code := run(t, "greenlint", "-suggest", "-suggest-dir", t.TempDir(), fixture)
+	if code != 0 {
+		t.Fatalf("second run exited %d:\n%s", code, out2)
+	}
+	strip := func(s string) string {
+		// The scaffold summary names the (distinct) temp dirs; compare
+		// the findings stream only.
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			if !strings.Contains(l, "scaffold(s)") {
+				keep = append(keep, l)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(out1) != strip(out2) {
+		t.Errorf("suggestion output not deterministic across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
 	}
 }
 

@@ -12,9 +12,10 @@ import (
 // epilogue; a leaked handle silently disables monitoring and
 // recalibration for that execution, so the SLA guarantee quietly erodes.
 var analyzerBeginFinish = &Analyzer{
-	Name: "beginfinish",
-	Doc:  "a Loop.Begin execution handle must have Finish called on it",
-	run:  runBeginFinish,
+	Name:     "beginfinish",
+	Category: CategoryContract,
+	Doc:      "a Loop.Begin execution handle must have Finish called on it",
+	run:      runBeginFinish,
 }
 
 // execHandle tracks one LoopExec variable within a single function body.

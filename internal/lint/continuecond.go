@@ -12,9 +12,10 @@ import (
 // silently dead), and a constant argument breaks both static-threshold
 // comparison and adaptive period sampling.
 var analyzerContinueCond = &Analyzer{
-	Name: "continuecond",
-	Doc:  "exec.Continue(i) must guard the for condition with a non-constant iteration argument",
-	run:  runContinueCond,
+	Name:     "continuecond",
+	Category: CategoryContract,
+	Doc:      "exec.Continue(i) must guard the for condition with a non-constant iteration argument",
+	run:      runContinueCond,
 }
 
 func runContinueCond(p *Pass) {

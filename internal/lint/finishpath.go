@@ -45,9 +45,10 @@ import (
 // are skipped, as are handles with no Finish event at all — the latter is
 // beginfinish's finding, and reporting it twice helps nobody.
 var analyzerFinishPath = &Analyzer{
-	Name: "finishpath",
-	Doc:  "every control-flow path from Loop.Begin must reach exactly one Finish (early returns included)",
-	run:  runFinishPath,
+	Name:     "finishpath",
+	Category: CategoryContract,
+	Doc:      "every control-flow path from Loop.Begin must reach exactly one Finish (early returns included)",
+	run:      runFinishPath,
 }
 
 // Handle-state lattice: a bitset over the five conditions.

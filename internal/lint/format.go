@@ -46,9 +46,17 @@ func relPath(base, file string) string {
 }
 
 // WriteText prints the canonical text form of res (active findings only;
-// the suppressed ones are summarized by the driver).
+// the suppressed ones are summarized by the driver). Contract findings
+// come first in position order; suggestions follow in rank order, best
+// first, since a triaging programmer reads top-down.
 func WriteText(w io.Writer, res Result, base string) error {
 	for _, d := range res.Diags {
+		if _, err := fmt.Fprintf(w, "%s:%d: [%s] %s\n", relPath(base, d.Pos.Filename), d.Pos.Line, d.Check, d.Message); err != nil {
+			return err
+		}
+	}
+	for _, s := range res.Suggestions {
+		d := s.Diag
 		if _, err := fmt.Fprintf(w, "%s:%d: [%s] %s\n", relPath(base, d.Pos.Filename), d.Pos.Line, d.Check, d.Message); err != nil {
 			return err
 		}
@@ -56,20 +64,24 @@ func WriteText(w io.Writer, res Result, base string) error {
 	return nil
 }
 
-// jsonDiag is the JSON projection of one diagnostic.
+// jsonDiag is the JSON projection of one diagnostic. Suggestion-mode
+// findings additionally carry the shape kind and the rank score.
 type jsonDiag struct {
-	File           string `json:"file"`
-	Line           int    `json:"line"`
-	Column         int    `json:"column"`
-	Check          string `json:"check"`
-	Message        string `json:"message"`
-	Suppressed     bool   `json:"suppressed,omitempty"`
-	SuppressReason string `json:"suppressReason,omitempty"`
+	File           string  `json:"file"`
+	Line           int     `json:"line"`
+	Column         int     `json:"column"`
+	Check          string  `json:"check"`
+	Message        string  `json:"message"`
+	Suppressed     bool    `json:"suppressed,omitempty"`
+	SuppressReason string  `json:"suppressReason,omitempty"`
+	Kind           string  `json:"kind,omitempty"`
+	Score          float64 `json:"score,omitempty"`
 }
 
-// WriteJSON emits all findings (active and suppressed) as a JSON array.
+// WriteJSON emits all findings (active and suppressed) as a JSON array,
+// suggestions last in rank order.
 func WriteJSON(w io.Writer, res Result, base string) error {
-	out := make([]jsonDiag, 0, len(res.Diags)+len(res.Suppressed))
+	out := make([]jsonDiag, 0, len(res.Diags)+len(res.Suppressed)+len(res.Suggestions))
 	for _, d := range res.Diags {
 		out = append(out, jsonDiag{
 			File: relPath(base, d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
@@ -81,6 +93,14 @@ func WriteJSON(w io.Writer, res Result, base string) error {
 			File: relPath(base, d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
 			Check: d.Check, Message: d.Message,
 			Suppressed: true, SuppressReason: d.SuppressReason,
+		})
+	}
+	for _, s := range res.Suggestions {
+		d := s.Diag
+		out = append(out, jsonDiag{
+			File: relPath(base, d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+			Check: d.Check, Message: d.Message,
+			Kind: s.Kind, Score: s.Score,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -113,8 +133,9 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string         `json:"id"`
+	ShortDescription sarifMessage   `json:"shortDescription"`
+	Properties       map[string]any `json:"properties,omitempty"`
 }
 
 type sarifMessage struct {
@@ -122,12 +143,16 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID       string             `json:"ruleId"`
-	RuleIndex    int                `json:"ruleIndex"`
+	RuleID    string `json:"ruleId"`
+	RuleIndex int    `json:"ruleIndex"`
+	// Kind distinguishes suggestion results ("review") from contract
+	// violations (empty, which SARIF defaults to "fail").
+	Kind         string             `json:"kind,omitempty"`
 	Level        string             `json:"level"`
 	Message      sarifMessage       `json:"message"`
 	Locations    []sarifLocation    `json:"locations"`
 	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+	Properties   map[string]any     `json:"properties,omitempty"`
 }
 
 type sarifLocation struct {
@@ -161,13 +186,21 @@ const sarifToolVersion = "2.0.0"
 // WriteSARIF emits a SARIF 2.1.0 log for the findings. Suppressed
 // findings are included as suppressed results (kind "inSource" with the
 // directive's justification), which code-scanning UIs display without
-// failing the run. base anchors the relative artifact URIs, normally the
-// working directory the scanner ran in.
+// failing the run. Suggestion-mode findings are emitted with result
+// kind "review" and level "note" — the schema-valid rendering of
+// "advisory, distinct from a violation" — plus a properties bag
+// (category "suggestion", the shape kind, and the rank score). base
+// anchors the relative artifact URIs, normally the working directory
+// the scanner ran in.
 func WriteSARIF(w io.Writer, res Result, base string) error {
 	rules := make([]sarifRule, 0)
 	ruleIndex := map[string]int{}
 	for i, a := range Analyzers() {
-		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{a.Doc}})
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{a.Doc},
+			Properties:       map[string]any{"category": a.Category},
+		})
 		ruleIndex[a.Name] = i
 	}
 
@@ -190,7 +223,7 @@ func WriteSARIF(w io.Writer, res Result, base string) error {
 		}
 	}
 
-	results := make([]sarifResult, 0, len(res.Diags)+len(res.Suppressed))
+	results := make([]sarifResult, 0, len(res.Diags)+len(res.Suppressed)+len(res.Suggestions))
 	for _, d := range res.Diags {
 		results = append(results, result(d, nil))
 	}
@@ -199,6 +232,17 @@ func WriteSARIF(w io.Writer, res Result, base string) error {
 			Kind:          "inSource",
 			Justification: d.SuppressReason,
 		}}))
+	}
+	for _, s := range res.Suggestions {
+		r := result(s.Diag, nil)
+		r.Kind = "review"
+		r.Level = "note"
+		r.Properties = map[string]any{
+			"category": "suggestion",
+			"kind":     s.Kind,
+			"score":    s.Score,
+		}
+		results = append(results, r)
 	}
 
 	log := sarifLog{
@@ -220,13 +264,17 @@ func WriteSARIF(w io.Writer, res Result, base string) error {
 
 // Merge combines per-package results into one document (for the driver,
 // which lints many packages but emits a single JSON/SARIF log).
+// Suggestions re-rank globally, so the best candidate across every
+// scanned package comes first.
 func Merge(results []Result) Result {
 	var out Result
 	for _, r := range results {
 		out.Diags = append(out.Diags, r.Diags...)
 		out.Suppressed = append(out.Suppressed, r.Suppressed...)
+		out.Suggestions = append(out.Suggestions, r.Suggestions...)
 	}
 	sortDiags(out.Diags)
 	sortDiags(out.Suppressed)
+	SortSuggestions(out.Suggestions)
 	return out
 }

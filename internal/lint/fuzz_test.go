@@ -114,6 +114,64 @@ func cal(name string) (*model.LoopModel, error) {
 	return c.Build()
 }
 `,
+		// Suggestion shapes: reduction, convergence, early-exit scan —
+		// the fuzzer mutates these into the matchers' corner cases.
+		`package p
+
+func reduce(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i] * xs[i]
+	}
+	return total
+}
+
+func converge(x, eps float64) float64 {
+	r := x
+	delta := x
+	for delta > eps {
+		delta = delta * 0.5
+		r -= delta
+	}
+	return r
+}
+
+func scan(xs []float64, limit float64) float64 {
+	acc := 0.0
+	for i := range xs {
+		acc += xs[i]
+		if acc >= limit {
+			break
+		}
+	}
+	return acc
+}
+`,
+		// Matcher corner cases: indexed field accumulators, tuple
+		// assignment, alternating directions, self-subtraction flips.
+		`package p
+
+type r struct{ a []float64 }
+
+func (v *r) f(w, h int, m map[string]int) {
+	zig := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v.a[y*w+x] += float64(x)
+			m["k"] += x
+			zig += 1.5
+			zig -= 0.5
+		}
+	}
+	var q, s int
+	for i := 0; i < 8; i++ {
+		q, s = s, q
+		s = 1 - s
+		q = q + i
+	}
+	_ = zig
+}
+`,
 		// Syntax-adjacent garbage.
 		"package p\nfunc f() { if { } }\n",
 		"package p\nfunc (",
@@ -138,6 +196,20 @@ func cal(name string) (*model.LoopModel, error) {
 		for _, d := range append(res.Diags, res.Suppressed...) {
 			if d.Check == "" || d.Message == "" {
 				t.Fatalf("malformed diagnostic: %+v", d)
+			}
+		}
+		// Suggestion mode shares the no-panic invariant, and every
+		// candidate it produces must render a parseable scaffold.
+		sugs, err := Suggest(pkg, nil)
+		if err != nil {
+			t.Fatalf("Suggest rejected valid analyzer set: %v", err)
+		}
+		for i := range sugs {
+			if sugs[i].Diag.Check == "" || sugs[i].Diag.Message == "" {
+				t.Fatalf("malformed suggestion: %+v", sugs[i])
+			}
+			if _, err := ScaffoldSource(&sugs[i], pkg.Types.Name()); err != nil {
+				t.Fatalf("scaffold does not render: %v", err)
 			}
 		}
 	})

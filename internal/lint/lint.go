@@ -21,6 +21,14 @@
 // of golang.org/x/tools is unavailable. The check logic is structured
 // analyzer-per-file so a future migration to x/tools/go/analysis (and
 // therefore `go vet -vettool`) is a mechanical wrapping exercise.
+//
+// Beside the contract checks above, the suite carries a suggestion-mode
+// analyzer family (suggestreduce, suggestconverge, suggestscan — see
+// suggest.go) that inverts the direction of analysis: instead of
+// enforcing annotations the programmer already wrote, it walks every
+// function's CFG looking for approximable-loop shapes and emits
+// ready-to-calibrate green.Loop scaffolds. Suggestion findings are
+// advisory and never fail a build on their own.
 package lint
 
 import (
@@ -74,17 +82,29 @@ func (p *Pass) reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Analyzer categories. Contract checks enforce the Green API usage
+// contract and fail the build; suggest checks discover approximable
+// sites and are advisory (they never flip the driver's exit status
+// unless explicitly opted into with -fail-on suggest).
+const (
+	CategoryContract = "contract"
+	CategorySuggest  = "suggest"
+)
+
 // An Analyzer is one named check.
 type Analyzer struct {
 	// Name is the check name used in diagnostics and -checks selection.
 	Name string
 	// Doc is a one-line description for the driver's -list output.
 	Doc string
-	run func(*Pass)
+	// Category is CategoryContract or CategorySuggest.
+	Category string
+	run      func(*Pass)
 }
 
 // Analyzers returns the full suite in stable order: the five AST-level
-// checks of the original suite, then the four CFG/dataflow analyzers.
+// checks of the original suite, the four CFG/dataflow analyzers, then
+// the suggestion-mode site-discovery family.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerBeginFinish,
@@ -96,7 +116,22 @@ func Analyzers() []*Analyzer {
 		analyzerHandleEscape,
 		analyzerErrDrop,
 		analyzerNonDet,
+		analyzerSuggestReduce,
+		analyzerSuggestConverge,
+		analyzerSuggestScan,
 	}
+}
+
+// AnalyzersByCategory returns the analyzers of one category, in the
+// Analyzers() order.
+func AnalyzersByCategory(cat string) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if a.Category == cat {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ByName resolves a check name; nil if unknown.
@@ -111,15 +146,18 @@ func ByName(name string) *Analyzer {
 
 // Result is the outcome of linting one package: the active findings plus
 // the findings muted by //greenlint:ignore directives (each carrying its
-// justification), both sorted by position.
+// justification), both sorted by position. When the driver runs in
+// suggestion mode, Suggestions carries the ranked site candidates
+// (best first); they are advisory and do not affect exit status.
 type Result struct {
-	Diags      []Diagnostic
-	Suppressed []Diagnostic
+	Diags       []Diagnostic
+	Suppressed  []Diagnostic
+	Suggestions []Suggestion
 }
 
-// Lint runs the named checks (all when names is empty) over a loaded
-// package and returns the active findings sorted by position. Suppressed
-// findings are dropped; use LintAll to see them.
+// Lint runs the named checks (all contract checks when names is empty)
+// over a loaded package and returns the active findings sorted by
+// position. Suppressed findings are dropped; use LintAll to see them.
 func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
 	res, err := LintAll(pkg, names)
 	if err != nil {
@@ -128,11 +166,13 @@ func Lint(pkg *Package, names []string) ([]Diagnostic, error) {
 	return res.Diags, nil
 }
 
-// LintAll runs the named checks (all when names is empty) over a loaded
-// package, applies the package's suppression directives, and returns
-// both the active and the suppressed findings.
+// LintAll runs the named checks over a loaded package, applies the
+// package's suppression directives, and returns both the active and the
+// suppressed findings. An empty names list selects every contract
+// check; the suggestion-mode analyzers run only when named explicitly
+// (or through Suggest, which also returns the structured candidates).
 func LintAll(pkg *Package, names []string) (Result, error) {
-	analyzers := Analyzers()
+	analyzers := AnalyzersByCategory(CategoryContract)
 	if len(names) > 0 {
 		analyzers = analyzers[:0:0]
 		for _, n := range names {

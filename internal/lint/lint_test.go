@@ -162,6 +162,9 @@ func TestAnalyzerMetadata(t *testing.T) {
 		if a.Name == "" || a.Doc == "" || a.run == nil {
 			t.Errorf("incomplete analyzer %+v", a)
 		}
+		if a.Category != CategoryContract && a.Category != CategorySuggest {
+			t.Errorf("analyzer %q has unknown category %q", a.Name, a.Category)
+		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
@@ -172,5 +175,14 @@ func TestAnalyzerMetadata(t *testing.T) {
 	}
 	if ByName("nosuch") != nil {
 		t.Error("ByName accepted an unknown name")
+	}
+	contract := AnalyzersByCategory(CategoryContract)
+	suggest := AnalyzersByCategory(CategorySuggest)
+	if len(contract)+len(suggest) != len(Analyzers()) {
+		t.Errorf("categories do not partition the suite: %d + %d != %d",
+			len(contract), len(suggest), len(Analyzers()))
+	}
+	if len(suggest) != 3 {
+		t.Errorf("expected the three suggestion analyzers, got %d", len(suggest))
 	}
 }

@@ -22,9 +22,10 @@ import (
 // (rand.New(rand.NewSource(seed))) are deterministic and never flagged —
 // only the package-level convenience functions of math/rand are.
 var analyzerNonDet = &Analyzer{
-	Name: "nondet",
-	Doc:  "calibration/model code must not call time.Now or the global math/rand source; determinism keeps parallel calibration bit-identical",
-	run:  runNonDet,
+	Name:     "nondet",
+	Category: CategoryContract,
+	Doc:      "calibration/model code must not call time.Now or the global math/rand source; determinism keeps parallel calibration bit-identical",
+	run:      runNonDet,
 }
 
 // calibrationFuncs are core/green functions and methods whose presence

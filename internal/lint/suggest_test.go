@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"flag"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite scaffold golden files")
+
+// TestSuggestFixtures runs each suggestion analyzer against its fixture
+// package through the plain Lint path (want-comment harness shared with
+// the contract checks).
+func TestSuggestFixtures(t *testing.T) {
+	tests := []struct{ fixture, check string }{
+		{"dftkernel", "suggestreduce"},
+		{"raytrace", "suggestreduce"},
+		{"searchscan", "suggestscan"},
+		{"converge", "suggestconverge"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "suggest", tc.fixture)
+			pkg, err := testLoader().Load(dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags, err := Lint(pkg, []string{tc.check})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(t, dir)
+			for _, d := range diags {
+				found := false
+				for _, w := range wants {
+					if !w.matched && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+						w.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing diagnostic at line %d containing %q", w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestSuggestGreenedSilent checks the negative fixture: a loop already
+// guarded by exec.Continue yields no candidates at all.
+func TestSuggestGreenedSilent(t *testing.T) {
+	pkg, err := testLoader().Load(filepath.Join("testdata", "suggest", "greened"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Suggest(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugs {
+		t.Errorf("greened fixture produced a candidate: %s", s.Diag)
+	}
+}
+
+// TestSuggestSuppression checks the directive path: the muted
+// convergence loop in the converge fixture must not surface.
+func TestSuggestSuppression(t *testing.T) {
+	pkg, err := testLoader().Load(filepath.Join("testdata", "suggest", "converge"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Suggest(pkg, []string{"suggestconverge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) != 1 {
+		t.Fatalf("want exactly the Smooth candidate, got %d: %v", len(sugs), sugs)
+	}
+	if sugs[0].Func != "Smooth" {
+		t.Errorf("surviving candidate is %s, want Smooth", sugs[0].Func)
+	}
+}
+
+// TestSuggestRejectsContractCheck keeps the name validation strict: a
+// contract check is not a valid suggestion selector.
+func TestSuggestRejectsContractCheck(t *testing.T) {
+	pkg, err := testLoader().Load(filepath.Join("testdata", "suggest", "greened"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Suggest(pkg, []string{"beginfinish"}); err == nil {
+		t.Error("Suggest accepted a contract check name")
+	}
+	if _, err := Suggest(pkg, []string{"nosuch"}); err == nil {
+		t.Error("Suggest accepted an unknown check name")
+	}
+}
+
+// TestSuggestRediscoversKernels is the ground-truth gate of the issue:
+// the repo's own kernels contain the hot loops the matchers were built
+// for, and each must be rediscovered — no false negatives.
+func TestSuggestRediscoversKernels(t *testing.T) {
+	tests := []struct {
+		dir  string
+		file string // a suggestion must point into this file
+	}{
+		{"../dft", "dft.go"},
+		{"../raytracer", "raytracer.go"},
+		{"../search", "scan.go"},
+	}
+	for _, tc := range tests {
+		t.Run(filepath.Base(tc.dir), func(t *testing.T) {
+			pkg, err := testLoader().Load(tc.dir)
+			if err != nil {
+				t.Fatalf("loading %s: %v", tc.dir, err)
+			}
+			sugs, err := Suggest(pkg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sugs {
+				if filepath.Base(s.Diag.Pos.Filename) == tc.file {
+					return
+				}
+			}
+			t.Errorf("no suggestion points into %s/%s; got %d candidates", tc.dir, tc.file, len(sugs))
+		})
+	}
+
+	// blackscholes is the green.Func substitution kernel: its loops
+	// only overwrite output slots and append argument streams, so the
+	// loop matchers must stay silent — a true negative on real code.
+	t.Run("blackscholes", func(t *testing.T) {
+		pkg, err := testLoader().Load("../blackscholes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sugs, err := Suggest(pkg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sugs {
+			t.Errorf("unexpected candidate in blackscholes: %s", s.Diag)
+		}
+	})
+}
+
+// TestSuggestDeterministic runs discovery twice over the same package
+// and requires identical ordered output — the ranking must be a total
+// order with no map-iteration leakage.
+func TestSuggestDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata", "suggest", "searchscan")
+	var runs [2][]Suggestion
+	for i := range runs {
+		pkg, err := NewLoader().Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sugs, err := Suggest(pkg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = sugs
+	}
+	if len(runs[0]) == 0 {
+		t.Fatal("no suggestions to compare")
+	}
+	if len(runs[0]) != len(runs[1]) {
+		t.Fatalf("run lengths differ: %d vs %d", len(runs[0]), len(runs[1]))
+	}
+	for i := range runs[0] {
+		a, b := runs[0][i], runs[1][i]
+		a.pos, b.pos = 0, 0 // token.Pos differs across FileSets by design
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("suggestion %d differs across runs:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestSuggestRankingOrder checks the score ordering invariant and the
+// depth dominance: in the raytrace fixture the innermost loop of the
+// Pass nest must outrank its enclosing loop.
+func TestSuggestRankingOrder(t *testing.T) {
+	pkg, err := testLoader().Load(filepath.Join("testdata", "suggest", "raytrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Suggest(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].Score > sugs[i-1].Score {
+			t.Errorf("ranking not monotone: #%d scores %.1f above #%d's %.1f",
+				i, sugs[i].Score, i-1, sugs[i-1].Score)
+		}
+	}
+	var inner, outer float64
+	for _, s := range sugs {
+		if s.Func == "Pass" {
+			switch s.Depth {
+			case 1:
+				outer = s.Score
+			case 2:
+				inner = s.Score
+			}
+		}
+	}
+	if inner == 0 || outer == 0 {
+		t.Fatalf("Pass nest not fully discovered: inner=%v outer=%v", inner, outer)
+	}
+	if inner <= outer {
+		t.Errorf("inner loop (%.1f) must outrank outer (%.1f)", inner, outer)
+	}
+}
+
+// scaffoldFixture loads a fixture and renders the scaffold of its
+// top-ranked candidate.
+func scaffoldFixture(t *testing.T, fixture string) (*Package, Suggestion, []byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "suggest", fixture)
+	pkg, err := testLoader().Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Suggest(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 {
+		t.Fatalf("fixture %s yields no suggestions", fixture)
+	}
+	src, err := ScaffoldSource(&sugs[0], pkg.Types.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, sugs[0], src
+}
+
+// TestScaffoldGolden pins the generated scaffold text for the
+// top-ranked candidate of each fixture shape. Regenerate with
+// `go test ./internal/lint -run TestScaffoldGolden -update`.
+func TestScaffoldGolden(t *testing.T) {
+	for _, fixture := range []string{"dftkernel", "searchscan", "converge"} {
+		t.Run(fixture, func(t *testing.T) {
+			_, _, src := scaffoldFixture(t, fixture)
+			golden := filepath.Join("testdata", "suggest", "golden", fixture+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, src, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(src) != string(want) {
+				t.Errorf("scaffold drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", golden, src, want)
+			}
+		})
+	}
+}
+
+// TestScaffoldCompiles type-checks every emitted scaffold against its
+// fixture package: the generated file must build as a sibling of the
+// code it was discovered in.
+func TestScaffoldCompiles(t *testing.T) {
+	for _, fixture := range []string{"dftkernel", "raytrace", "searchscan", "converge"} {
+		t.Run(fixture, func(t *testing.T) {
+			dir := filepath.Join("testdata", "suggest", fixture)
+			pkg, err := testLoader().Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sugs, err := Suggest(pkg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset := token.NewFileSet()
+			var files []*ast.File
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files = append(files, f)
+			}
+			for i := range sugs {
+				src, err := ScaffoldSource(&sugs[i], pkg.Types.Name())
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := parser.ParseFile(fset, ScaffoldFileName(&sugs[i]), src, 0)
+				if err != nil {
+					t.Fatalf("scaffold %s does not parse: %v\n%s", ScaffoldFileName(&sugs[i]), err, src)
+				}
+				conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+				all := append(append([]*ast.File{}, files...), f)
+				if _, err := conf.Check(pkg.Types.Path(), fset, all, nil); err != nil {
+					t.Errorf("scaffold %s does not type-check: %v\n%s", ScaffoldFileName(&sugs[i]), err, src)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteScaffolds checks the file-emission path end to end:
+// deterministic names, parseable contents.
+func TestWriteScaffolds(t *testing.T) {
+	dir := filepath.Join("testdata", "suggest", "dftkernel")
+	pkg, err := testLoader().Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := Suggest(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	paths, err := WriteScaffolds(out, pkg.Types.Name(), sugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(sugs) {
+		t.Fatalf("wrote %d files for %d suggestions", len(paths), len(sugs))
+	}
+	for _, p := range paths {
+		if _, err := parser.ParseFile(token.NewFileSet(), p, nil, 0); err != nil {
+			t.Errorf("written scaffold %s does not parse: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+// Static cost heuristic for ranking suggestion candidates.
+//
+// The goal is not an accurate cycle count — static analysis cannot see
+// trip counts — but a stable ordering by *expected payoff*: the loops
+// where an approximation controller can save the most work should rank
+// first, so a programmer triaging `-suggest` output starts at the right
+// end. Three cheap static features stand in for dynamic cost, in the
+// spirit of Capri's static proxy features (PAPERS.md):
+//
+//	body size   — statements in the body, nested blocks included. A
+//	              bigger body does more work per saved iteration.
+//	call weight — returning calls in the body. A call hides an
+//	              arbitrary amount of work behind one statement, so it
+//	              weighs more than a statement (callWeight×). Calls the
+//	              CFG layer classifies no-return (panic, os.Exit) are
+//	              already excluded by countCalls: panic paths are not
+//	              work an approximation can save.
+//	nesting     — each level of loop nesting multiplies the iteration
+//	              space, so depth scales the score geometrically
+//	              (depthBase^(depth-1)). The inner loop of a nest
+//	              outranks its enclosing loop with the same body only
+//	              when callers iterate it more — which nesting
+//	              guarantees statically.
+//
+// The formula is deliberately simple enough to restate in a diagnostic
+// message: score = (stmts + 3·calls) · 4^(depth−1).
+
+const (
+	// callWeight is how many plain statements one returning call is
+	// worth.
+	callWeight = 3
+	// depthBase is the per-nesting-level multiplier.
+	depthBase = 4
+)
+
+// scoreSuggestion computes the rank score from the candidate's static
+// features. Deterministic: same features, same score.
+func scoreSuggestion(s *Suggestion) float64 {
+	mult := 1.0
+	for d := 1; d < s.Depth; d++ {
+		mult *= depthBase
+	}
+	return float64(s.BodyStmts+callWeight*s.Calls) * mult
+}

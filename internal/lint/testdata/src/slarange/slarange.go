@@ -18,7 +18,7 @@ var (
 	}
 	explicitZero = core.Func2Config{SLA: 0.1, SampleInterval: 0} // want "positive interval"
 
-	missingBoth = model.AdaptiveParams{M: 10}              // want "missing Period" "missing TargetDelta"
+	missingBoth = model.AdaptiveParams{M: 10}                      // want "missing Period" "missing TargetDelta"
 	negDelta    = model.AdaptiveParams{Period: 8, TargetDelta: -1} // want "TargetDelta is -1"
 
 	// Clean values must not be reported.

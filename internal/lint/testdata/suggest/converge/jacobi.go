@@ -1,0 +1,50 @@
+// Package converge is a suggestion-mode fixture: convergence loops —
+// the for condition compares an iteration-carried delta against a
+// threshold. Counted loops with constant-step conditions must not match.
+package converge
+
+// Smooth relaxes a grid until the largest per-sweep change drops below
+// tol: the classic convergence shape.
+func Smooth(grid []float64, tol float64) int {
+	sweeps := 0
+	delta := tol + 1
+	for delta > tol { // want "convergence"
+		delta = 0
+		for i := 1; i < len(grid)-1; i++ {
+			next := 0.5 * (grid[i-1] + grid[i+1])
+			if d := next - grid[i]; d > delta {
+				delta = d
+			}
+			grid[i] = next
+		}
+		sweeps++
+	}
+	return sweeps
+}
+
+// suppressed is the same shape muted by a directive: it must appear in
+// neither Lint's active diagnostics nor Suggest's candidates.
+func suppressed(x, eps float64) float64 {
+	r := x
+	step := x
+	//greenlint:ignore suggestconverge calibrated by hand, keep precise
+	for step > eps {
+		step = step * 0.5
+		if (r+step)*(r+step) <= x {
+			r += step
+		}
+	}
+	return r
+}
+
+// counted must not match: the condition variable advances by a constant
+// step, which makes it a plain counted loop.
+func counted(n int) int {
+	total := 0
+	i := 0
+	for i < n {
+		total = total*31 + i
+		i++
+	}
+	return total
+}

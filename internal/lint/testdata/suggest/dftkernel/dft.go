@@ -1,0 +1,48 @@
+// Package dftkernel is a suggestion-mode fixture: an un-greened copy of
+// the repo's DFT kernel hot loops. The inner per-bin sum is the paper's
+// §2.1 early-termination shape and must be rediscovered as a monotone-
+// accumulator reduction; the outer bin loop only overwrites output
+// slots and must not match.
+package dftkernel
+
+import "math"
+
+// Transform computes the naive O(n²) DFT of a real signal.
+func Transform(signal []float64) ([]float64, []float64) {
+	n := len(signal)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for k := 0; k < n; k++ {
+		sr, si := 0.0, 0.0
+		for t := 0; t < n; t++ { // want "reduction"
+			angle := 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sr += signal[t] * math.Cos(angle)
+			si -= signal[t] * math.Sin(angle)
+		}
+		re[k] = sr
+		im[k] = si
+	}
+	return re, im
+}
+
+// Energy folds the spectrum into one magnitude sum: a flat (depth-1)
+// reduction over an indexed source.
+func Energy(re, im []float64) float64 {
+	var total float64
+	for i := range re { // want "reduction"
+		total += re[i]*re[i] + im[i]*im[i]
+	}
+	return total
+}
+
+// counter must not match: the only update is a constant step, which is
+// a plain counted loop, not a reduction.
+func counter(events []int) int {
+	n := 0
+	for _, e := range events {
+		if e > 0 {
+			n++
+		}
+	}
+	return n
+}

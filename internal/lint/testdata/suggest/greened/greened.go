@@ -1,0 +1,23 @@
+// Package greened is a suggestion-mode negative fixture: its loop is
+// already under a Green controller (exec.Continue guards the
+// condition), so site discovery must stay silent — the site is found,
+// calibration owns it now.
+package greened
+
+import "green/internal/core"
+
+// sum is an already-approximated reduction: structurally identical to
+// the suggestreduce shape, but the Continue guard marks it greened.
+func sum(l *core.Loop, q core.LoopQoS, xs []float64) float64 {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return 0
+	}
+	total := 0.0
+	i := 0
+	for ; i < len(xs) && exec.Continue(i); i++ {
+		total += xs[i] * xs[i]
+	}
+	exec.Finish(i)
+	return total
+}

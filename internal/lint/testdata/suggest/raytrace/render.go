@@ -1,0 +1,37 @@
+// Package raytrace is a suggestion-mode fixture: an un-greened copy of
+// the repo's renderer accumulation loops. The per-pixel sample
+// accumulation writes through an indexed struct field (rd.accum[i] +=),
+// the form the reduction matcher must resolve through the selector.
+package raytrace
+
+// Renderer accumulates radiance samples into a flat buffer.
+type Renderer struct {
+	w, h  int
+	accum []float64
+}
+
+// shade is a stand-in for the per-sample radiance computation.
+func shade(x, y int) float64 {
+	return float64(x*31+y*17) * 0.001
+}
+
+// Pass adds one sample per pixel into the accumulation buffer.
+func (rd *Renderer) Pass() {
+	for y := 0; y < rd.h; y++ { // want "reduction"
+		for x := 0; x < rd.w; x++ { // want "reduction"
+			pix := y*rd.w + x
+			rd.accum[pix] += shade(x, y)
+		}
+	}
+}
+
+// Render runs passes and tracks the total sample count — itself a
+// reduction over the pass loop (samples grows by a non-constant step).
+func (rd *Renderer) Render(passes int) int {
+	samples := 0
+	for p := 0; p < passes; p++ { // want "reduction"
+		rd.Pass()
+		samples += rd.w * rd.h
+	}
+	return samples
+}

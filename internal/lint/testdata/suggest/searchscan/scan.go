@@ -1,0 +1,52 @@
+// Package searchscan is a suggestion-mode fixture: the Bing/search
+// early-exit shape — a posting-list scan whose break is guarded by a
+// comparison on the accumulated score.
+package searchscan
+
+// Posting is one scored document hit.
+type Posting struct {
+	Doc   int
+	Score float64
+}
+
+// ScanTopK walks a posting list accumulating evidence and stops early
+// once the running best clears the acceptance threshold.
+func ScanTopK(postings []Posting, threshold float64) int {
+	best := -1
+	evidence := 0.0
+	for i := 0; i < len(postings); i++ { // want "early-exit"
+		evidence += postings[i].Score
+		if postings[i].Score > 0 {
+			best = postings[i].Doc
+		}
+		if evidence >= threshold {
+			break
+		}
+	}
+	return best
+}
+
+// ScanReturn is the return-exit variant of the same shape.
+func ScanReturn(postings []Posting, threshold float64) float64 {
+	evidence := 0.0
+	for i := range postings { // want "early-exit"
+		evidence += postings[i].Score
+		if evidence >= threshold {
+			return evidence
+		}
+	}
+	return evidence
+}
+
+// fixedBreak must not match suggestscan: the break guard compares the
+// induction variable, not an accumulated value.
+func fixedBreak(postings []Posting) float64 {
+	v := 0.0
+	for i := range postings {
+		v = v * 0.5
+		if i > 100 {
+			break
+		}
+	}
+	return v
+}

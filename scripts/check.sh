@@ -23,6 +23,31 @@ if command -v python3 > /dev/null 2>&1; then
 	python3 -c 'import json,sys; d=json.load(open("greenlint.sarif")); assert d["version"]=="2.1.0", d["version"]'
 fi
 
+echo "== suggest (smoke) =="
+# Site discovery over the real tree: the suggestions SARIF must validate,
+# and the repo's own kernel hot loops (DFT bin sums, raytracer sample
+# accumulation, search posting scan) are ground truth the matchers must
+# rediscover — a false negative on any of them is a regression.
+go run ./cmd/greenlint -suggest -format sarif ./internal/... ./examples/... > greenlint-suggest.sarif
+if command -v python3 > /dev/null 2>&1; then
+	python3 - <<'EOF'
+import json
+d = json.load(open("greenlint-suggest.sarif"))
+assert d["version"] == "2.1.0", d["version"]
+hits = set()
+for r in d["runs"][0]["results"]:
+    if not r["ruleId"].startswith("suggest"):
+        continue
+    assert r.get("kind") == "review", r
+    assert r.get("level") == "note", r
+    assert r.get("properties", {}).get("category") == "suggestion", r
+    hits.add(r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"])
+for want in ("internal/dft/dft.go", "internal/raytracer/raytracer.go", "internal/search/scan.go"):
+    assert want in hits, f"kernel loop not rediscovered: {want} (got {sorted(hits)})"
+print(f"suggest smoke: {len(hits)} file(s) with candidates, kernels rediscovered")
+EOF
+fi
+
 echo "== tests =="
 go test ./...
 
