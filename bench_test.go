@@ -13,6 +13,8 @@ package green_test
 import (
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,6 +30,7 @@ import (
 	"green/internal/model"
 	"green/internal/raytracer"
 	"green/internal/search"
+	"green/internal/serve"
 	"green/internal/taskgraph"
 	"green/internal/workload"
 )
@@ -623,6 +626,107 @@ func BenchmarkFunc2HotPath(b *testing.B) {
 	})
 }
 
+// batchSize is the batch the throughput benchmarks amortize over —
+// matching the acceptance target (steady ExecN at batch 64).
+const batchSize = 64
+
+// BenchmarkLoopExecN measures the batched execution tier: one op is one
+// batch member, so ns/op compares directly with BenchmarkLoopHotPath's
+// per-execution cost. The batch pays the snapshot load, the sampling
+// decision, and the breaker consult once per 64 members.
+func BenchmarkLoopExecN(b *testing.B) {
+	run := func(sampleInterval int) func(*testing.B) {
+		return func(b *testing.B) {
+			loop := hotLoopFixture(b, sampleInterval)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := batchSize
+				if rem := b.N - done; rem < n {
+					n = rem
+				}
+				bt, err := loop.ExecN(n, hotQoS{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for bt.Next() {
+					i := 0
+					for ; i < hotLoopBound && bt.Continue(i); i++ {
+					}
+					bt.End(i)
+				}
+				bt.Finish()
+				done += n
+			}
+		}
+	}
+	b.Run("steady", run(0))
+	b.Run("monitored1k", run(1000))
+}
+
+// hotFuncFixture builds a one-parameter function controller whose range
+// model always qualifies the cheapest version, so steady-state calls
+// are pure controller overhead (the Func analogue of hotLoopFixture).
+func hotFuncFixture(b *testing.B, sampleInterval int) *green.Func {
+	b.Helper()
+	fm := benchExpModel(b)
+	f, err := green.NewFunc(green.FuncConfig{
+		Name: "hotfn", Model: fm, SLA: 0.01, SampleInterval: sampleInterval,
+	}, math.Exp, []core.Fn{approxmath.ExpTaylor(3), approxmath.ExpTaylor(4),
+		approxmath.ExpTaylor(5), approxmath.ExpTaylor(6)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkFuncCallN measures the batched function tier against the
+// per-call path: one op is one element of a 64-element CallN.
+func BenchmarkFuncCallN(b *testing.B) {
+	var xs, ys [batchSize]float64
+	for i := range xs {
+		xs[i] = -2 + 2*float64(i)/batchSize
+	}
+	run := func(sampleInterval int) func(*testing.B) {
+		return func(b *testing.B) {
+			f := hotFuncFixture(b, sampleInterval)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batchSize {
+				if err := f.CallN(xs[:], ys[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("steady", run(0))
+	b.Run("monitored1k", run(1000))
+}
+
+// BenchmarkFunc2CallN is BenchmarkFuncCallN for the two-parameter
+// controller.
+func BenchmarkFunc2CallN(b *testing.B) {
+	var xs, ys, zs [batchSize]float64
+	for i := range xs {
+		xs[i] = 0.5 + 9*float64(i)/batchSize
+		ys[i] = 9.5 - 9*float64(i)/batchSize
+	}
+	run := func(sampleInterval int) func(*testing.B) {
+		return func(b *testing.B) {
+			f := hotFunc2Fixture(b, sampleInterval)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batchSize {
+				if err := f.CallN(xs[:], ys[:], zs[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("steady", run(0))
+	b.Run("monitored1k", run(1000))
+}
+
 // BenchmarkLoopHotPathParallel hammers one shared Loop from g goroutines,
 // the contention shape of a serving deployment.
 func BenchmarkLoopHotPathParallel(b *testing.B) {
@@ -656,6 +760,39 @@ func BenchmarkLoopHotPathParallel(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// benchNullRW discards the response body through a preallocated header
+// map so the benchmark measures the serve path, not the recorder.
+type benchNullRW struct{ h http.Header }
+
+func (w *benchNullRW) Header() http.Header         { return w.h }
+func (w *benchNullRW) Write(b []byte) (int, error) { return len(b), nil }
+func (w *benchNullRW) WriteHeader(int)             {}
+
+// BenchmarkServeQPS measures the full warm /search request path —
+// routing, query-cache hit, controller-guarded scan, ranking, JSON
+// encode — one op per request. The inverse of ns/op is the
+// single-goroutine QPS ceiling; the monitored sample interval is pushed
+// out of reach so the row tracks the steady path the zero-alloc gate
+// (internal/serve TestServeWarmPathZeroAlloc) protects.
+func BenchmarkServeQPS(b *testing.B) {
+	s, err := serve.New(serve.Config{Seed: 7, CalibrationQueries: 60,
+		CorpusDocs: 2000, SampleInterval: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/search?q=alpha+beta", nil)
+	w := &benchNullRW{h: make(http.Header, 4)}
+	for i := 0; i < 16; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	greenload -url http://localhost:8080 -qps 200 -duration 10s -deadline 50ms
 //	greenload -url ... -sweep 50,100,200,400      # success rate per offered QPS
+//	greenload -url ... -closed -workers 16        # closed-loop peak throughput
 package main
 
 import (
@@ -30,8 +31,26 @@ func main() {
 		deadline = flag.Duration("deadline", 100*time.Millisecond, "per-request latency SLA")
 		sweep    = flag.String("sweep", "", "comma-separated QPS list; overrides -qps")
 		seed     = flag.Int64("seed", 1, "query-mix seed")
+		closed   = flag.Bool("closed", false, "closed-loop mode: saturate with -workers in-flight requests (ignores -qps/-sweep)")
+		workers  = flag.Int("workers", 0, "closed-loop concurrency (0 uses the default)")
 	)
 	flag.Parse()
+
+	if *closed {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  *baseURL,
+			Duration: *duration,
+			Deadline: *deadline,
+			Seed:     *seed,
+			Closed:   true,
+			Workers:  *workers,
+		})
+		if err != nil {
+			log.Fatalf("greenload: %v", err)
+		}
+		fmt.Printf("closed loop: %s\n", res)
+		return
+	}
 
 	rates := []float64{*qps}
 	if *sweep != "" {

@@ -44,6 +44,7 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller snapshots (empty disables persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Second, "background snapshot period")
 		maxInFlight  = flag.Int("max-in-flight", 128, "concurrent /search cap before shedding with 503 (negative disables)")
+		qcacheSize   = flag.Int("qcache", 0, "preparsed-query cache entries (0 uses the default, negative disables)")
 		reqTimeout   = flag.Duration("request-timeout", 2*time.Second, "per-request deadline; partial results are served at expiry (negative disables)")
 		drain        = flag.Duration("drain-timeout", 10*time.Second, "in-flight drain budget at shutdown")
 
@@ -92,6 +93,7 @@ func main() {
 		SnapshotInterval:   *snapInterval,
 		MaxInFlight:        *maxInFlight,
 		RequestTimeout:     *reqTimeout,
+		QueryCacheSize:     *qcacheSize,
 		Chaos:              inj,
 	})
 	if err != nil {

@@ -102,6 +102,12 @@ type (
 	DeltaQoS = core.DeltaQoS
 	// Result summarizes a finished loop execution.
 	Result = core.Result
+	// LoopBatch is one batch of loop executions (Loop.ExecN): the batched
+	// analogue of LoopExec, amortizing the controller's snapshot load and
+	// sampling decision across the batch.
+	LoopBatch = core.LoopBatch
+	// BatchResult summarizes a finished batch.
+	BatchResult = core.BatchResult
 
 	// Func is an approximable function controller (the paper's
 	// approx_func).

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"green/internal/model"
+)
+
+// The batched execution tier.
+//
+// At serving scale the controller itself becomes the energy tax the
+// paper warns about (§4.1: the machinery must cost less than the work it
+// saves): every execution pays a pool round-trip, a snapshot load, a
+// counter add, and a breaker consult. ExecN/CallN amortize all of that
+// across a batch — one snapshot load, one sampling decision (monitoring
+// one deterministic member), and counter updates folded into one add per
+// batch — exactly the amortization argument Capri and the
+// significance-aware runtimes make for per-input control (PAPERS.md).
+//
+// Semantics are unchanged from the unbatched path: when Sample_QoS is at
+// least the batch size, a batched stream monitors the same executions,
+// measures the same losses, and applies the same recalibration actions
+// as the equivalent unbatched stream (the observation is applied at the
+// monitored member's End, and the snapshot is reloaded for the members
+// after it, so level trajectories are identical — equivalence-tested in
+// batch_test.go). A shorter interval collapses to at most one monitored
+// member per batch. Breaker and event behavior are untouched: the
+// breaker is consulted once per batch, forces a whole batch precise, and
+// monitored-member panics charge it exactly as unbatched ones do.
+
+// BatchResult summarizes one finished batch.
+type BatchResult struct {
+	// N is the number of members actually executed.
+	N int
+	// Approximated counts members that terminated early.
+	Approximated int
+	// Monitored counts monitored members (0 or 1 per batch).
+	Monitored int
+	// Loss is the monitored member's measured QoS loss, when one ran
+	// cleanly.
+	Loss float64
+	// Recalibrated is the recalibration action the monitored member's
+	// observation produced, if any.
+	Recalibrated Action
+	// ContainedPanic reports that the monitored member's QoS callbacks
+	// panicked; the observation was discarded and the breaker charged.
+	ContainedPanic bool
+}
+
+// LoopBatch is one batch of executions of an approximated loop: the
+// batched analogue of LoopExec. The caller drives it as
+//
+//	b, _ := loop.ExecN(64, qos)
+//	for b.Next() {
+//	        i := 0
+//	        for ; b.Continue(i) && step(); i++ {
+//	        }
+//	        b.End(i)
+//	}
+//	res := b.Finish()
+//
+// Batches are pooled like LoopExec handles: Finish recycles the batch,
+// which must not be used afterwards. A LoopBatch is not safe for
+// concurrent use (each goroutine runs its own batches; the loop itself
+// stays safe for concurrent use).
+type LoopBatch struct {
+	loop  *Loop
+	qos   LoopQoS
+	delta DeltaQoS
+
+	n         int // configured batch size
+	k         int // members started so far
+	monitorAt int // offset of the monitored member; -1 when none
+	first     int64
+	probe     bool
+
+	// The approximation snapshot shared by the batch's members,
+	// reloaded after the monitored member applies its observation.
+	level    float64
+	adaptive model.AdaptiveParams
+	mode     LoopMode
+	disabled bool
+
+	// Current member state, reset by Next.
+	monitor    bool
+	panicked   bool
+	recorded   bool
+	terminated bool
+	wouldStop  int
+	// fast marks the common case — static mode, non-monitored member,
+	// approximation enabled — whose Continue check is small enough to
+	// inline at the call site.
+	fast bool
+
+	res BatchResult
+}
+
+// batchPool recycles LoopBatch objects so steady-state batches are
+// allocation-free.
+var batchPool = sync.Pool{New: func() any { return new(LoopBatch) }}
+
+// ExecN starts a batch of n executions of the loop. It loads the
+// approximation snapshot once, makes one sampling decision for the
+// whole batch, and consults the breaker once; the per-member cost is
+// then just the Continue checks. qos plays the same role as in Begin
+// and, like there, must implement DeltaQoS in Adaptive mode. A batch
+// finished before all n members ran returns the unused executions to
+// the counters.
+func (l *Loop) ExecN(n int, qos LoopQoS) (*LoopBatch, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: batch size %d < 1", n)
+	}
+	if qos == nil {
+		return nil, errors.New("core: nil LoopQoS")
+	}
+	var delta DeltaQoS
+	if l.cfg.Mode == Adaptive {
+		d, ok := qos.(DeltaQoS)
+		if !ok {
+			return nil, errors.New("core: adaptive mode requires DeltaQoS")
+		}
+		delta = d
+	}
+	st := l.state.Load()
+	o := l.beginBatchObservation(n)
+	b := batchPool.Get().(*LoopBatch)
+	*b = LoopBatch{
+		loop: l, qos: qos, delta: delta,
+		n: n, monitorAt: o.monitorAt, first: o.first, probe: o.probe,
+		level: st.level, adaptive: st.adaptive, mode: l.cfg.Mode,
+		disabled:  st.disabled || st.forceOff || o.forced,
+		wouldStop: -1,
+	}
+	return b, nil
+}
+
+// Next advances to the batch's next member, reporting false once all n
+// members have run. It must be called before the member's first
+// Continue.
+func (b *LoopBatch) Next() bool {
+	if b.k >= b.n {
+		return false
+	}
+	b.monitor = b.k == b.monitorAt
+	b.panicked = false
+	b.recorded = false
+	b.terminated = false
+	b.wouldStop = -1
+	b.fast = !b.monitor && !b.disabled && b.mode == Static
+	b.k++
+	return true
+}
+
+// approxSaysStop is the batch's copy of the synthesized QoS_Lp_Approx
+// (LoopExec.approxSaysStop): duplicated rather than shared so the
+// per-iteration check stays a leaf the compiler can keep inline on both
+// hot paths.
+func (b *LoopBatch) approxSaysStop(i int) bool {
+	if b.disabled {
+		return false
+	}
+	switch b.mode {
+	case Static:
+		return float64(i) >= b.level
+	default: // Adaptive
+		if b.adaptive.Period < 1 {
+			return false
+		}
+		if float64(i) < b.adaptive.M {
+			return false
+		}
+		if i > 0 && i%int(b.adaptive.Period) == 0 {
+			return b.delta.Delta(i) <= b.adaptive.TargetDelta
+		}
+		return false
+	}
+}
+
+// safeStop runs approxSaysStop under recover (monitored members only).
+func (b *LoopBatch) safeStop(i int) (stop bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicked = true
+			stop = false
+		}
+	}()
+	return b.approxSaysStop(i)
+}
+
+// safeRecord runs LoopQoS.Record under recover.
+func (b *LoopBatch) safeRecord(i int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicked = true
+			ok = false
+		}
+	}()
+	b.qos.Record(i)
+	return true
+}
+
+// safeLoss runs LoopQoS.Loss under recover.
+func (b *LoopBatch) safeLoss(finalIter int) (loss float64, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.panicked = true
+			loss, ok = 0, false
+		}
+	}()
+	return b.qos.Loss(finalIter), true
+}
+
+// Continue reports whether the current member's loop body should run
+// iteration i — the batched LoopExec.Continue, with identical monitored
+// and non-monitored semantics. The fast-flag split keeps the common
+// case (static, non-monitored, enabled) inlinable: a float compare and
+// out; monitored members, adaptive mode, and post-termination calls
+// take continueSlow.
+func (b *LoopBatch) Continue(i int) bool {
+	if b.fast && float64(i) < b.level {
+		return true
+	}
+	return b.continueSlow(i)
+}
+
+func (b *LoopBatch) continueSlow(i int) bool {
+	if b.monitor {
+		if b.recorded || b.panicked {
+			return true
+		}
+		if b.safeStop(i) {
+			if b.safeRecord(i) {
+				b.recorded = true
+				b.wouldStop = i
+			}
+		}
+		return true
+	}
+	if b.terminated {
+		return false
+	}
+	if b.approxSaysStop(i) {
+		b.fast = false // terminated: keep later Continue calls off the fast path
+		b.terminated = true
+		b.wouldStop = i
+		return false
+	}
+	return true
+}
+
+// End completes the current member, mirroring LoopExec.Finish: a
+// monitored member measures its loss and hands the observation to the
+// controller immediately (so recalibration lands exactly where the
+// unbatched stream would put it), then the batch reloads the snapshot
+// for its remaining members.
+func (b *LoopBatch) End(finalIter int) Result {
+	if !b.monitor {
+		if b.terminated {
+			b.res.Approximated++
+		}
+		return Result{Approximated: b.terminated, StoppedAt: b.wouldStop}
+	}
+	return b.endMonitored(finalIter)
+}
+
+func (b *LoopBatch) endMonitored(finalIter int) Result {
+	res := Result{
+		Approximated: b.terminated,
+		Monitored:    true,
+		StoppedAt:    b.wouldStop,
+	}
+	if b.terminated {
+		b.res.Approximated++
+	}
+	loss := 0.0
+	if b.recorded && !b.panicked {
+		loss, _ = b.safeLoss(finalIter)
+	}
+	l := b.loop
+	o := obs{seq: b.first + int64(b.k-1), monitor: true, probe: b.probe}
+	res.Loss = loss
+	res.Recalibrated = l.finishObservation(o, loss, b.panicked, func(st *loopState, a Action) float64 {
+		l.applyAction(st, a)
+		return st.level
+	})
+	if b.panicked {
+		res.Loss = 0
+		res.ContainedPanic = true
+		b.res.ContainedPanic = true
+	} else {
+		b.res.Monitored++
+		b.res.Loss = loss
+		b.res.Recalibrated = res.Recalibrated
+	}
+	// The observation may have moved the level (or the breaker may have
+	// tripped): the batch's remaining members read the fresh snapshot,
+	// exactly as unbatched Begins would.
+	st := l.state.Load()
+	b.level, b.adaptive = st.level, st.adaptive
+	b.disabled = st.disabled || st.forceOff
+	return res
+}
+
+// Finish completes the batch: unused executions are returned to the
+// counters and the batch handle is recycled (it must not be used again
+// afterwards).
+func (b *LoopBatch) Finish() BatchResult {
+	l := b.loop
+	if l == nil {
+		// Finish on an already-recycled handle: report empty rather than
+		// corrupting the pool with a double Put.
+		return BatchResult{}
+	}
+	l.reconcileBatch(b.n, b.k)
+	res := b.res
+	res.N = b.k
+	*b = LoopBatch{}
+	batchPool.Put(b)
+	return res
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -58,8 +59,16 @@ type controller[S any] struct {
 	interval  atomic.Int64
 	count     atomic.Int64 // executions since creation (or restore)
 	monitored atomic.Int64
-	loss      lossAccumulator
-	brk       *breaker
+
+	// loss holds the monitored losses observed since the last
+	// recalibration, sharded across GOMAXPROCS-sized padded cells;
+	// lossDrained (float64 bits, written only under mu) holds everything
+	// drained out of the shards at recalibration time. The long-lived
+	// total therefore lives in one word while the shards stay near zero,
+	// bounded by one sampling interval's worth of observations.
+	loss        lossAccumulator
+	lossDrained atomic.Uint64
+	brk         *breaker
 
 	mu     sync.Mutex // serializes snapshot rebuilds and the policy
 	policy RecalibratePolicy
@@ -83,6 +92,7 @@ func (c *controller[S]) init(kind string, o ctrlOptions) error {
 		c.policy = DefaultPolicy{}
 	}
 	c.interval.Store(int64(o.SampleInterval))
+	c.loss.init(lossShardCount())
 	c.brk = newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.SampleInterval)
 	return nil
 }
@@ -117,6 +127,58 @@ func (c *controller[S]) beginObservation() obs {
 	return o
 }
 
+// batchObs is the per-batch observation decision beginBatchObservation
+// makes: the sequence number of the batch's first member, the offset of
+// the (at most one) monitored member, whether the breaker forces the
+// whole batch precise, and whether the monitored member is the
+// breaker's half-open probe.
+type batchObs struct {
+	first     int64 // sequence number of member 0
+	monitorAt int   // offset of the monitored member; -1 when none
+	forced    bool
+	probe     bool
+}
+
+// beginBatchObservation runs the shared protocol once for a batch of n
+// executions: one counter add covers all n sequence numbers, one
+// interval load makes one sampling decision for the whole batch, and
+// the breaker is consulted once. The monitored member is deterministic:
+// the first member whose sequence number is a multiple of Sample_QoS.
+// When the interval is at least the batch size this reproduces the
+// unbatched schedule exactly; a shorter interval collapses to at most
+// one monitored member per batch (the amortization contract — see
+// DESIGN.md §12). Lock-free.
+func (c *controller[S]) beginBatchObservation(n int) batchObs {
+	end := c.count.Add(int64(n))
+	first := end - int64(n) + 1
+	b := batchObs{first: first, monitorAt: -1}
+	b.forced, b.probe = c.brk.observeBegin(end)
+	if b.forced {
+		// Breaker open: forced precise, monitoring suspended for the
+		// whole batch.
+		return b
+	}
+	if iv := c.interval.Load(); iv > 0 {
+		if next := ((first + iv - 1) / iv) * iv; next <= end {
+			b.monitorAt = int(next - first)
+		}
+	}
+	if b.probe && b.monitorAt < 0 {
+		// A half-open probe is forced monitored; pin it to member 0.
+		b.monitorAt = 0
+	}
+	return b
+}
+
+// reconcileBatch returns unused executions to the counter when a batch
+// is finished after running only ran of its n members, keeping Stats
+// exact for abandoned batches.
+func (c *controller[S]) reconcileBatch(n, ran int) {
+	if ran < n {
+		c.count.Add(int64(ran - n))
+	}
+}
+
 // finishObservation completes one monitored execution. A contained panic
 // is a failed observation: its loss value would be garbage, so it is
 // discarded — never counted into the monitored statistics, never fed to
@@ -133,9 +195,15 @@ func (c *controller[S]) finishObservation(o obs, loss float64, panicked bool, ap
 	c.brk.onSuccess(o.probe)
 
 	c.monitored.Add(1)
-	c.loss.add(loss)
+	c.loss.add(loss, uint64(o.seq))
 
 	c.mu.Lock()
+	// Recalibration drains the sharded accumulator into the single
+	// mu-guarded total, so the shards only ever hold the losses of the
+	// current sampling window — the read side (Stats) then mostly sums
+	// zeros no matter how many cells GOMAXPROCS demanded.
+	drained := math.Float64frombits(c.lossDrained.Load()) + c.loss.drain()
+	c.lossDrained.Store(math.Float64bits(drained))
 	d := c.policy.Observe(loss, c.sla)
 	if d.NewSampleInterval > 0 {
 		c.interval.Store(int64(d.NewSampleInterval))
@@ -180,7 +248,14 @@ func (c *controller[S]) restoreCounters(interval, count, monitored int64, lossSu
 	c.interval.Store(interval)
 	c.count.Store(count)
 	c.monitored.Store(monitored)
-	c.loss.set(lossSum)
+	c.loss.drain()
+	c.lossDrained.Store(math.Float64bits(lossSum))
+}
+
+// lossSum reads the total monitored loss: the drained total plus
+// whatever the current sampling window's shards still hold.
+func (c *controller[S]) lossSum() float64 {
+	return math.Float64frombits(c.lossDrained.Load()) + c.loss.sum()
 }
 
 // Name returns the configured controller name.
@@ -197,7 +272,7 @@ func (c *controller[S]) Stats() (executions, monitored int64, meanLoss float64) 
 	executions = c.count.Load()
 	monitored = c.monitored.Load()
 	if monitored > 0 {
-		meanLoss = c.loss.sum() / float64(monitored)
+		meanLoss = c.lossSum() / float64(monitored)
 	}
 	return executions, monitored, meanLoss
 }
@@ -206,28 +281,49 @@ func (c *controller[S]) Stats() (executions, monitored int64, meanLoss float64) 
 // containment on the monitored path; see resilience.go).
 func (c *controller[S]) Breaker() BreakerStats { return c.brk.stats() }
 
-// lossStripes sizes the striped loss accumulator: enough cells that
-// concurrent monitored completions rarely collide on one CAS, few enough
-// that Stats' read-side sum stays trivial.
-const lossStripes = 8
+// lossShardCount sizes the sharded loss accumulator to the machine: one
+// padded cell per P, rounded up to a power of two so the index mask is a
+// single AND, floored at 8 cells so small machines still spread bursts.
+// The previous fixed 8-cell stripe collapsed every core onto the same
+// handful of CAS targets once GOMAXPROCS grew past it.
+func lossShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	c := 8
+	for c < n {
+		c *= 2
+	}
+	return c
+}
 
 // paddedFloat is one accumulator cell, padded out to a cache line so
-// adjacent stripes do not false-share.
+// adjacent shards do not false-share.
 type paddedFloat struct {
 	bits atomic.Uint64
 	_    [56]byte
 }
 
-// lossAccumulator sums float64 losses with striped lock-free cells, so
-// writers (monitored completions) and readers (Stats) never block each
-// other or the hot path.
+// lossAccumulator sums float64 losses across per-P-sized lock-free
+// cells, so writers (monitored completions) and readers (Stats) never
+// block each other or the hot path. The cell index derives from a
+// caller-supplied hint (the execution sequence number): concurrent
+// completions necessarily carry distinct sequences, so they land on
+// distinct cells without the extra contended atomic a round-robin
+// counter would cost. drain moves every cell into the caller's hands
+// atomically; the controller drains on each recalibration so the shards
+// only ever hold the current sampling window's losses.
 type lossAccumulator struct {
-	next  atomic.Uint64
-	cells [lossStripes]paddedFloat
+	mask  uint64
+	cells []paddedFloat
 }
 
-func (a *lossAccumulator) add(v float64) {
-	c := &a.cells[a.next.Add(1)%lossStripes]
+// init sizes the accumulator; shards must be a power of two.
+func (a *lossAccumulator) init(shards int) {
+	a.mask = uint64(shards - 1)
+	a.cells = make([]paddedFloat, shards)
+}
+
+func (a *lossAccumulator) add(v float64, hint uint64) {
+	c := &a.cells[hint&a.mask]
 	for {
 		old := c.bits.Load()
 		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
@@ -244,12 +340,16 @@ func (a *lossAccumulator) sum() float64 {
 	return s
 }
 
-// set overwrites the accumulated total (checkpoint restore).
-func (a *lossAccumulator) set(v float64) {
-	a.cells[0].bits.Store(math.Float64bits(v))
-	for i := 1; i < lossStripes; i++ {
-		a.cells[i].bits.Store(0)
+// drain atomically collects every cell's value, resetting the cells to
+// zero, and returns the collected total. A concurrent add either lands
+// before the swap (collected now) or after it (left for the next
+// drain); no loss is dropped or double-counted either way.
+func (a *lossAccumulator) drain() float64 {
+	s := 0.0
+	for i := range a.cells {
+		s += math.Float64frombits(a.cells[i].bits.Swap(0))
 	}
+	return s
 }
 
 // applyOffsetAction shifts a version-ladder precision offset for a

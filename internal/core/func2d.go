@@ -185,6 +185,70 @@ func (f *Func2) Call(x, y float64) float64 {
 	return yp
 }
 
+// CallN evaluates the function at each (xs[i], ys[i]) pair, writing
+// results into zs[i]: the batched Call. One snapshot load, one sampling
+// decision, and one counter add cover the whole batch; the monitored
+// member (if any) behaves exactly like an unbatched monitored Call and
+// later members see the post-recalibration snapshot. zs must be at
+// least as long as xs and ys (whose lengths must match).
+func (f *Func2) CallN(xs, ys, zs []float64) error {
+	n := len(xs)
+	if len(ys) != n {
+		return fmt.Errorf("core: func2 %q: CallN input lengths differ (%d vs %d)", f.cfg.Name, n, len(ys))
+	}
+	if len(zs) < n {
+		return fmt.Errorf("core: func2 %q: CallN output slice %d shorter than input %d", f.cfg.Name, len(zs), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	st := f.state.Load()
+	o := f.beginBatchObservation(n)
+	if o.forced {
+		// Breaker open: the whole batch runs precise, monitoring
+		// suspended.
+		for i := 0; i < n; i++ {
+			zs[i] = f.precise(xs[i], ys[i])
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		x, y := xs[i], ys[i]
+		v := f.selectVersion(st, x, y)
+		if i != o.monitorAt {
+			if v == model.PreciseVersion {
+				zs[i] = f.precise(x, y)
+			} else {
+				zs[i] = f.versions[v](x, y)
+			}
+			continue
+		}
+		// Monitored member: Call's monitored path, inline.
+		zp := f.precise(x, y)
+		loss := 0.0
+		panicked := false
+		if v != model.PreciseVersion {
+			if za, ok := f.safeApprox(v, x, y); ok {
+				if lv, ok := f.safeQoS(zp, za); ok {
+					loss = lv
+				} else {
+					panicked = true
+				}
+			} else {
+				panicked = true
+			}
+		}
+		zs[i] = zp
+		f.finishObservation(obs{seq: o.first + int64(i), monitor: true, probe: o.probe}, loss, panicked,
+			func(st *func2State, a Action) float64 {
+				applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
+				return float64(st.offset)
+			})
+		st = f.state.Load()
+	}
+	return nil
+}
+
 // safeApprox runs approximate version v under recover.
 func (f *Func2) safeApprox(v int, x, y float64) (z float64, ok bool) {
 	defer func() {

@@ -243,6 +243,79 @@ func (f *Func) Call(x float64) float64 {
 	return yp
 }
 
+// CallN evaluates the function at each xs[i], writing results into
+// ys[i]: the batched Call. The approximation snapshot is loaded once,
+// one sampling decision covers the batch (monitoring a deterministic
+// member — see beginBatchObservation), and the execution counter and
+// work accounting fold into one atomic add each per batch instead of
+// one per call. Monitored-member semantics are exactly Call's: precise
+// and approximate both run, the loss feeds the policy immediately, and
+// the remaining members see the post-recalibration snapshot. ys must be
+// at least as long as xs.
+func (f *Func) CallN(xs, ys []float64) error {
+	n := len(xs)
+	if len(ys) < n {
+		return fmt.Errorf("core: func %q: CallN output slice %d shorter than input %d", f.cfg.Name, len(ys), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	st := f.state.Load()
+	o := f.beginBatchObservation(n)
+	if o.forced {
+		// Breaker open: the whole batch runs precise, monitoring
+		// suspended.
+		for i := 0; i < n; i++ {
+			ys[i] = f.precise(xs[i])
+		}
+		f.addWork(f.cfg.Model.PreciseWork * float64(n))
+		return nil
+	}
+	work := 0.0
+	for i := 0; i < n; i++ {
+		x := xs[i]
+		v := f.selectVersion(st, x)
+		if i != o.monitorAt {
+			if v == model.PreciseVersion {
+				work += f.cfg.Model.PreciseWork
+				ys[i] = f.precise(x)
+			} else {
+				work += f.cfg.Model.Versions[v].Work
+				ys[i] = f.versions[v](x)
+			}
+			continue
+		}
+		// Monitored member: Call's monitored path, inline.
+		yp := f.precise(x)
+		work += f.cfg.Model.PreciseWork
+		loss := 0.0
+		panicked := false
+		if v != model.PreciseVersion {
+			if ya, ok := f.safeApprox(v, x); ok {
+				work += f.cfg.Model.Versions[v].Work
+				if lv, ok := f.safeQoS(yp, ya); ok {
+					loss = lv
+				} else {
+					panicked = true
+				}
+			} else {
+				panicked = true
+			}
+		}
+		ys[i] = yp
+		f.finishObservation(obs{seq: o.first + int64(i), monitor: true, probe: o.probe}, loss, panicked,
+			func(st *funcState, a Action) float64 {
+				applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
+				return float64(st.offset)
+			})
+		// The observation may have moved the offset: later members read
+		// the fresh snapshot, exactly as unbatched Calls would.
+		st = f.state.Load()
+	}
+	f.addWork(work)
+	return nil
+}
+
 // safeApprox runs approximate version v under recover.
 func (f *Func) safeApprox(v int, x float64) (y float64, ok bool) {
 	defer func() {

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The loss accumulator's conservation contract: across any interleaving
+// of concurrent add, sum, and drain, every loss lands in exactly one of
+// (a) some drain's return value or (b) the final residual sum — nothing
+// dropped, nothing double-counted. The tests use integer-valued floats
+// (exact under float64 addition well past these magnitudes), so the
+// checks are equality, not tolerance.
+
+func TestLossShardCount(t *testing.T) {
+	n := lossShardCount()
+	if n < 8 {
+		t.Errorf("shard count %d below floor 8", n)
+	}
+	if n&(n-1) != 0 {
+		t.Errorf("shard count %d not a power of two", n)
+	}
+	if n < runtime.GOMAXPROCS(0) {
+		t.Errorf("shard count %d below GOMAXPROCS %d", n, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestLossAccumulatorSumDrain(t *testing.T) {
+	var a lossAccumulator
+	a.init(8)
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		v := float64(i + 1)
+		a.add(v, uint64(i))
+		total += v
+	}
+	if got := a.sum(); got != total {
+		t.Fatalf("sum = %v, want %v", got, total)
+	}
+	if got := a.drain(); got != total {
+		t.Fatalf("drain = %v, want %v", got, total)
+	}
+	if got := a.sum(); got != 0 {
+		t.Fatalf("sum after drain = %v, want 0", got)
+	}
+	if got := a.drain(); got != 0 {
+		t.Fatalf("second drain = %v, want 0", got)
+	}
+}
+
+// TestLossAccumulatorConcurrentConservation races adders against a
+// draining goroutine (-race covers the memory model; the equality check
+// covers conservation): drained totals plus the final residual must
+// equal the exact sum of everything added.
+func TestLossAccumulatorConcurrentConservation(t *testing.T) {
+	const (
+		adders = 8
+		perAdd = 2000
+		dr     = 200 // drains interleaved with the adds
+	)
+	var a lossAccumulator
+	a.init(lossShardCount())
+
+	var wg sync.WaitGroup
+	drained := make(chan float64, 1)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := 0.0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				drained <- s
+				return
+			default:
+				s += a.drain()
+				if i%dr == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+
+	var want int64
+	var addWG sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		addWG.Add(1)
+		go func(g int) {
+			defer addWG.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perAdd; i++ {
+				v := float64(rng.Intn(1000) + 1)
+				a.add(v, uint64(g*perAdd+i))
+			}
+		}(g)
+	}
+	// Recompute the exact expected total deterministically from the same
+	// seeds (the adders race each other, but their values don't).
+	for g := 0; g < adders; g++ {
+		rng := rand.New(rand.NewSource(int64(g)))
+		for i := 0; i < perAdd; i++ {
+			want += int64(rng.Intn(1000) + 1)
+		}
+	}
+	addWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	got := <-drained + a.sum()
+	if got != float64(want) {
+		t.Fatalf("conservation violated: drained+residual = %v, want %v (diff %v)", got, want, got-float64(want))
+	}
+}
+
+// TestControllerLossConservation drives monitored executions (each of
+// which drains the shards into the long-lived total) concurrently with
+// Stats readers and a Restore, then checks the controller-level ledger:
+// mean loss times monitored count must reproduce the exact sum fed in.
+// noopPolicy never adjusts the level, so every monitored execution's
+// approximation triggers and its scripted loss is measured.
+type noopPolicy struct{}
+
+func (noopPolicy) Observe(loss, sla float64) Decision { return Decision{} }
+
+func TestControllerLossConservation(t *testing.T) {
+	l, err := NewLoop(LoopConfig{
+		Name: "l", Model: testLoopModel(t), SLA: 0.05, SampleInterval: 1,
+		Policy: noopPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 4
+		perW    = 500
+	)
+	var wg, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() { // a concurrent Stats reader exercises sum() during drains
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.Stats()
+				runtime.Gosched()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := &seqQoS{losses: []float64{1, 2, 3, 4, 5}}
+			for i := 0; i < perW; i++ {
+				e, err := l.Begin(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				i := 0
+				for ; i < 3200; i++ {
+					if !e.Continue(i) {
+						break
+					}
+				}
+				e.Finish(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	_, monitored, mean := l.Stats()
+	if monitored != workers*perW {
+		t.Fatalf("monitored = %d, want %d", monitored, workers*perW)
+	}
+	// Each worker's qos cycles 1..5, so each contributes perW observations
+	// summing to perW/5 * 15.
+	want := float64(workers * (perW / 5) * 15)
+	if got := mean * float64(monitored); got != want {
+		t.Fatalf("loss ledger: mean*monitored = %v, want exactly %v", got, want)
+	}
+}

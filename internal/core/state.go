@@ -84,7 +84,7 @@ func (l *Loop) State() LoopState {
 		ForceOff:  st.forceOff,
 		Count:     l.count.Load(),
 		Monitored: l.monitored.Load(),
-		LossSum:   l.loss.sum(),
+		LossSum:   l.lossSum(),
 		AdaptiveM: st.adaptive.M, AdaptivePer: st.adaptive.Period,
 		AdaptiveDelta: st.adaptive.TargetDelta,
 	}
@@ -166,7 +166,7 @@ func (f *Func) State() FuncState {
 		ForceOff:  st.forceOff,
 		Count:     f.count.Load(),
 		Monitored: f.monitored.Load(),
-		LossSum:   f.loss.sum(),
+		LossSum:   f.lossSum(),
 		WorkMilli: f.workMilli.Load(),
 	}
 }
@@ -235,7 +235,7 @@ func (f *Func2) State() Func2State {
 		ForceOff:  st.forceOff,
 		Count:     f.count.Load(),
 		Monitored: f.monitored.Load(),
-		LossSum:   f.loss.sum(),
+		LossSum:   f.lossSum(),
 	}
 }
 

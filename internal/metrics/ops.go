@@ -24,25 +24,35 @@ type OpsCounters struct {
 	// RestoreRejected counts startup snapshots rejected as corrupt,
 	// foreign, or implausible.
 	RestoreRejected atomic.Int64
+	// QueryCacheHits counts /search requests answered from the preparsed
+	// query cache (the zero-alloc warm path).
+	QueryCacheHits atomic.Int64
+	// QueryCacheMisses counts /search requests that had to parse their
+	// query (cold or evicted entries, or caching disabled).
+	QueryCacheMisses atomic.Int64
 }
 
 // OpsSnapshot is a point-in-time copy of OpsCounters, shaped for JSON
 // surfaces like /stats.
 type OpsSnapshot struct {
-	Shed            int64 `json:"shed"`
-	DeadlinePartial int64 `json:"deadline_partial"`
-	SnapshotSaves   int64 `json:"snapshot_saves"`
-	SnapshotErrors  int64 `json:"snapshot_errors"`
-	RestoreRejected int64 `json:"restore_rejected"`
+	Shed             int64 `json:"shed"`
+	DeadlinePartial  int64 `json:"deadline_partial"`
+	SnapshotSaves    int64 `json:"snapshot_saves"`
+	SnapshotErrors   int64 `json:"snapshot_errors"`
+	RestoreRejected  int64 `json:"restore_rejected"`
+	QueryCacheHits   int64 `json:"query_cache_hits"`
+	QueryCacheMisses int64 `json:"query_cache_misses"`
 }
 
 // Snapshot copies the counters.
 func (c *OpsCounters) Snapshot() OpsSnapshot {
 	return OpsSnapshot{
-		Shed:            c.Shed.Load(),
-		DeadlinePartial: c.DeadlinePartial.Load(),
-		SnapshotSaves:   c.SnapshotSaves.Load(),
-		SnapshotErrors:  c.SnapshotErrors.Load(),
-		RestoreRejected: c.RestoreRejected.Load(),
+		Shed:             c.Shed.Load(),
+		DeadlinePartial:  c.DeadlinePartial.Load(),
+		SnapshotSaves:    c.SnapshotSaves.Load(),
+		SnapshotErrors:   c.SnapshotErrors.Load(),
+		RestoreRejected:  c.RestoreRejected.Load(),
+		QueryCacheHits:   c.QueryCacheHits.Load(),
+		QueryCacheMisses: c.QueryCacheMisses.Load(),
 	}
 }

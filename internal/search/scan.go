@@ -24,14 +24,29 @@ type scanCursor struct {
 // NewScan starts an incremental execution of q keeping the best topN
 // documents.
 func (e *Engine) NewScan(q Query, topN int) *Scan {
-	s := &Scan{engine: e, heap: newTopN(topN), topNCap: topN}
+	s := &Scan{heap: newTopN(topN)}
+	s.Reset(e, q, topN)
+	return s
+}
+
+// Reset reinitializes the scan in place for a new query, reusing the
+// cursor slice and heap storage so a pooled Scan serves its next request
+// without allocating.
+func (s *Scan) Reset(e *Engine, q Query, topN int) {
+	s.engine = e
+	s.cursors = s.cursors[:0]
+	if s.heap == nil {
+		s.heap = newTopN(topN)
+	}
+	s.heap.reset(topN)
+	s.n = 0
+	s.topNCap = topN
 	for _, t := range q.Terms {
 		if t < 0 || t >= len(e.postings) || len(e.postings[t]) == 0 {
 			continue
 		}
 		s.cursors = append(s.cursors, scanCursor{ps: e.postings[t], idf: e.idf[t]})
 	}
-	return s
 }
 
 // Step scores the next matching document and reports whether one existed.
@@ -65,11 +80,29 @@ func (s *Scan) Step() bool {
 	return true
 }
 
+// StepN scores up to k further matching documents (the batch-friendly
+// Step: one call covers a whole controller batch member's budget) and
+// returns how many were scored; fewer than k means the scan exhausted.
+func (s *Scan) StepN(k int) int {
+	done := 0
+	for ; done < k; done++ {
+		if !s.Step() {
+			break
+		}
+	}
+	return done
+}
+
 // Processed returns the number of matching documents scored so far.
 func (s *Scan) Processed() int { return s.n }
 
 // TopN returns the current ranked top-N document ids.
 func (s *Scan) TopN() []int { return s.heap.ranked() }
+
+// TopNInto writes the current ranked top-N document ids into out,
+// growing it only if needed; with a warmed-up buffer it allocates
+// nothing.
+func (s *Scan) TopNInto(out []int) []int { return s.heap.rankedInto(out) }
 
 // Exhausted reports whether all matching documents have been scored.
 func (s *Scan) Exhausted() bool {

@@ -1,0 +1,168 @@
+package search
+
+import (
+	"testing"
+)
+
+// The pooled-serve contract for the incremental scanners: Reset reuses
+// storage, StepN matches repeated Step, TopNInto matches TopN.
+
+func reuseEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(Config{Docs: 2000, VocabSize: 300, AvgDocLen: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestScanResetEquivalence(t *testing.T) {
+	e := reuseEngine(t)
+	qs, err := e.GenerateQueries(9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := e.NewScan(qs[0], 10)
+	for _, q := range qs {
+		reused.Reset(e, q, 10)
+		fresh := e.NewScan(q, 10)
+		for fresh.Step() {
+			if !reused.Step() {
+				t.Fatalf("query %d: reused scan exhausted before fresh", q.ID)
+			}
+		}
+		if reused.Step() {
+			t.Fatalf("query %d: reused scan outlived fresh", q.ID)
+		}
+		got, want := reused.TopN(), fresh.TopN()
+		if len(got) != len(want) {
+			t.Fatalf("query %d: topN %v vs %v", q.ID, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: topN[%d] = %d, want %d", q.ID, i, got[i], want[i])
+			}
+		}
+		if reused.Processed() != fresh.Processed() {
+			t.Fatalf("query %d: processed %d vs %d", q.ID, reused.Processed(), fresh.Processed())
+		}
+	}
+}
+
+func TestScanAndResetEquivalence(t *testing.T) {
+	e := reuseEngine(t)
+	qs, err := e.GenerateQueries(9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := e.NewScanAnd(qs[0], 10)
+	for _, q := range qs {
+		reused.Reset(e, q, 10)
+		fresh := e.NewScanAnd(q, 10)
+		for fresh.Step() {
+			if !reused.Step() {
+				t.Fatalf("query %d: reused scan exhausted before fresh", q.ID)
+			}
+		}
+		if reused.Step() {
+			t.Fatalf("query %d: reused scan outlived fresh", q.ID)
+		}
+		got, want := reused.TopN(), fresh.TopN()
+		if len(got) != len(want) {
+			t.Fatalf("query %d: topN %v vs %v", q.ID, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: topN[%d] = %d, want %d", q.ID, i, got[i], want[i])
+			}
+		}
+		if reused.Exhausted() != fresh.Exhausted() {
+			t.Fatalf("query %d: exhausted %v vs %v", q.ID, reused.Exhausted(), fresh.Exhausted())
+		}
+	}
+}
+
+func TestStepNMatchesStep(t *testing.T) {
+	e := reuseEngine(t)
+	qs, err := e.GenerateQueries(13, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		a, b := e.NewScan(q, 10), e.NewScan(q, 10)
+		for {
+			n := a.StepN(7)
+			for i := 0; i < n; i++ {
+				if !b.Step() {
+					t.Fatalf("query %d: StepN scored more than Step", q.ID)
+				}
+			}
+			if n < 7 {
+				break
+			}
+		}
+		if b.Step() {
+			t.Fatalf("query %d: StepN scored fewer than Step", q.ID)
+		}
+		if a.Processed() != b.Processed() {
+			t.Fatalf("query %d: processed %d vs %d", q.ID, a.Processed(), b.Processed())
+		}
+	}
+	// Conjunctive variant.
+	for _, q := range qs {
+		a, b := e.NewScanAnd(q, 10), e.NewScanAnd(q, 10)
+		an := 0
+		for {
+			n := a.StepN(3)
+			an += n
+			if n < 3 {
+				break
+			}
+		}
+		bn := 0
+		for b.Step() {
+			bn++
+		}
+		if an != bn {
+			t.Fatalf("query %d: conjunctive StepN scored %d, Step %d", q.ID, an, bn)
+		}
+	}
+}
+
+func TestTopNIntoMatchesTopNAndReusesBuffer(t *testing.T) {
+	e := reuseEngine(t)
+	qs, err := e.GenerateQueries(21, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 10)
+	for _, q := range qs {
+		s := e.NewScan(q, 10)
+		for s.Step() {
+		}
+		want := s.TopN()
+		buf = s.TopNInto(buf)
+		if len(buf) != len(want) {
+			t.Fatalf("query %d: TopNInto %v vs TopN %v", q.ID, buf, want)
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("query %d: TopNInto[%d] = %d, want %d", q.ID, i, buf[i], want[i])
+			}
+		}
+		if cap(buf) != 10 {
+			t.Fatalf("query %d: TopNInto reallocated the warm buffer (cap %d)", q.ID, cap(buf))
+		}
+	}
+	// Warm TopNInto must not allocate.
+	s := e.NewScan(qs[0], 10)
+	for s.Step() {
+	}
+	s.TopNInto(buf) // warm the heap scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = s.TopNInto(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm TopNInto allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -20,26 +20,51 @@ type ScanAnd struct {
 // NewScanAnd starts an incremental conjunctive execution of q keeping
 // the best topN documents.
 func (e *Engine) NewScanAnd(q Query, topN int) *ScanAnd {
-	s := &ScanAnd{engine: e, heap: newTopN(topN)}
+	s := &ScanAnd{heap: newTopN(topN)}
+	s.Reset(e, q, topN)
+	return s
+}
+
+// Reset reinitializes the scan in place for a new query, reusing the
+// list/position slices and heap storage so a pooled ScanAnd serves its
+// next request without allocating.
+func (s *ScanAnd) Reset(e *Engine, q Query, topN int) {
+	s.engine = e
+	s.lists = s.lists[:0]
+	s.idfs = s.idfs[:0]
+	s.pos = s.pos[:0]
+	s.lead = 0
+	if s.heap == nil {
+		s.heap = newTopN(topN)
+	}
+	s.heap.reset(topN)
+	s.n = 0
+	s.dead = false
 	if topN <= 0 || len(q.Terms) == 0 {
 		s.dead = true
-		return s
+		return
 	}
 	for _, t := range q.Terms {
 		if t < 0 || t >= len(e.postings) || len(e.postings[t]) == 0 {
 			s.dead = true
-			return s
+			return
 		}
 		s.lists = append(s.lists, e.postings[t])
 		s.idfs = append(s.idfs, e.idf[t])
 	}
-	s.pos = make([]int, len(s.lists))
+	if cap(s.pos) < len(s.lists) {
+		s.pos = make([]int, len(s.lists))
+	} else {
+		s.pos = s.pos[:len(s.lists)]
+		for i := range s.pos {
+			s.pos[i] = 0
+		}
+	}
 	for i := range s.lists {
 		if len(s.lists[i]) < len(s.lists[s.lead]) {
 			s.lead = i
 		}
 	}
-	return s
 }
 
 // Step scores the next conjunctively matching document and reports
@@ -82,11 +107,28 @@ func (s *ScanAnd) Step() bool {
 	return false
 }
 
+// StepN scores up to k further conjunctive matches and returns how many
+// were scored; fewer than k means the scan exhausted.
+func (s *ScanAnd) StepN(k int) int {
+	done := 0
+	for ; done < k; done++ {
+		if !s.Step() {
+			break
+		}
+	}
+	return done
+}
+
 // Processed returns the number of conjunctive matches scored so far.
 func (s *ScanAnd) Processed() int { return s.n }
 
 // TopN returns the current ranked top-N document ids.
 func (s *ScanAnd) TopN() []int { return s.heap.ranked() }
+
+// TopNInto writes the current ranked top-N document ids into out,
+// growing it only if needed; with a warmed-up buffer it allocates
+// nothing.
+func (s *ScanAnd) TopNInto(out []int) []int { return s.heap.rankedInto(out) }
 
 // Exhausted reports whether the lead posting list has been fully
 // consumed (no further conjunctive match can exist).

@@ -281,11 +281,20 @@ func (e *Engine) MatchCount(q Query) int {
 // deterministic tie-breaking (higher score wins; equal scores prefer the
 // lower doc id, i.e. the higher static rank).
 type topN struct {
-	n  int
-	rs []Result
+	n       int
+	rs      []Result
+	scratch []Result // rankedInto's sort buffer, reused across calls
 }
 
 func newTopN(n int) *topN { return &topN{n: n} }
+
+// reset reinitializes the heap for reuse with a new capacity, keeping
+// its backing arrays (the pooled serve path resets rather than
+// reallocating per request).
+func (t *topN) reset(n int) {
+	t.n = n
+	t.rs = t.rs[:0]
+}
 
 // less reports whether a ranks strictly worse than b.
 func less(a, b Result) bool {
@@ -343,6 +352,33 @@ func (t *topN) ranked() []int {
 	sort.Slice(rs, func(i, j int) bool { return less(rs[j], rs[i]) })
 	out := make([]int, len(rs))
 	for i, r := range rs {
+		out[i] = int(r.Doc)
+	}
+	return out
+}
+
+// rankedInto writes doc ids best-first into out (grown as needed) and
+// returns the filled slice. Unlike ranked it allocates nothing once the
+// heap's scratch buffer and out have warmed up: sorting is an insertion
+// sort over the heap's N entries (N is the requested top-N — single
+// digits to low tens — where insertion sort beats sort.Slice and its
+// closure allocation).
+func (t *topN) rankedInto(out []int) []int {
+	t.scratch = append(t.scratch[:0], t.rs...)
+	for i := 1; i < len(t.scratch); i++ {
+		r := t.scratch[i]
+		j := i - 1
+		for j >= 0 && less(t.scratch[j], r) {
+			t.scratch[j+1] = t.scratch[j]
+			j--
+		}
+		t.scratch[j+1] = r
+	}
+	if cap(out) < len(t.scratch) {
+		out = make([]int, len(t.scratch))
+	}
+	out = out[:len(t.scratch)]
+	for i, r := range t.scratch {
 		out[i] = int(r.Doc)
 	}
 	return out

@@ -1,0 +1,78 @@
+package serve
+
+import "strconv"
+
+// Hand-rolled JSON encoding for the /search response. encoding/json's
+// Encoder walks the value reflectively and allocates per call; the warm
+// serve path instead appends into a pooled byte buffer. The output is
+// byte-identical to encoding/json for this shape (field order follows
+// the struct, HTML characters are escaped the same way, a trailing
+// newline matches Encoder.Encode) — equivalence-tested in
+// jsonfast_test.go.
+
+// appendSearchJSON appends resp encoded as JSON (plus the Encoder's
+// trailing newline) to b.
+func appendSearchJSON(b []byte, r *searchResponse) []byte {
+	b = append(b, `{"query":`...)
+	b = appendJSONString(b, r.Query)
+	b = append(b, `,"docs":`...)
+	if r.Docs == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, d := range r.Docs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(d), 10)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"docs_scored":`...)
+	b = strconv.AppendInt(b, int64(r.DocsScored), 10)
+	b = append(b, `,"approximated":`...)
+	b = strconv.AppendBool(b, r.Approximated)
+	b = append(b, `,"monitored":`...)
+	b = strconv.AppendBool(b, r.MonitoredScan)
+	if r.Degraded {
+		b = append(b, `,"degraded":true`...)
+	}
+	return append(b, '}', '\n')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, escaping exactly
+// the byte set encoding/json escapes with HTML escaping on (its
+// default): quotes, backslashes, control characters, and <, >, &.
+// strconv.AppendQuote is NOT a substitute — it emits Go syntax like
+// \x7f, which is invalid JSON. Multi-byte UTF-8 passes through
+// untouched, as encoding/json leaves valid non-ASCII unescaped.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

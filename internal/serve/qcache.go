@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+)
+
+// queryCache memoizes parsed queries keyed on the *raw, still-escaped*
+// q parameter value. The workload generator (internal/workload) draws
+// queries from a Zipf distribution, so a small cache sized for the head
+// absorbs the overwhelming majority of traffic — and a hit skips the
+// unescape, tokenize, and hash work entirely, touching no allocator.
+//
+// The cache is sharded by a cheap string hash so concurrent servers
+// don't serialize on one lock, and bounded: a full shard evicts an
+// arbitrary resident entry (one map-iteration step — effectively random
+// replacement, which is within a few percent of LRU on Zipfian traffic
+// and needs no per-hit bookkeeping writes on the read path).
+type queryCache struct {
+	shards []qcacheShard
+	mask   uint32
+	perCap int
+}
+
+type qcacheShard struct {
+	mu sync.RWMutex
+	m  map[string]*cachedQuery
+}
+
+// cachedQuery is one parsed query: the unescaped echo string for the
+// JSON response plus the resolved vocabulary terms.
+type cachedQuery struct {
+	echo  string
+	terms []int
+}
+
+const qcacheShards = 8
+
+// newQueryCache builds a cache bounded at roughly max entries; max <= 0
+// disables caching (get always misses, put discards).
+func newQueryCache(max int) *queryCache {
+	if max <= 0 {
+		return &queryCache{}
+	}
+	per := max / qcacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &queryCache{shards: make([]qcacheShard, qcacheShards), mask: qcacheShards - 1, perCap: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cachedQuery, per)
+	}
+	return c
+}
+
+// hash is FNV-1a over the key, inlined so the hit path stays
+// allocation-free (hash/fnv's New32a allocates its state).
+func qcacheHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// get returns the cached parse for a raw query value, or nil.
+func (c *queryCache) get(rawQ string) *cachedQuery {
+	if len(c.shards) == 0 {
+		return nil
+	}
+	sh := &c.shards[qcacheHash(rawQ)&c.mask]
+	sh.mu.RLock()
+	v := sh.m[rawQ]
+	sh.mu.RUnlock()
+	return v
+}
+
+// put inserts a parsed query. rawQ is cloned: it usually aliases a
+// request's URL storage, which must not outlive the request.
+func (c *queryCache) put(rawQ string, v *cachedQuery) {
+	if len(c.shards) == 0 {
+		return
+	}
+	sh := &c.shards[qcacheHash(rawQ)&c.mask]
+	sh.mu.Lock()
+	if _, ok := sh.m[rawQ]; !ok {
+		if len(sh.m) >= c.perCap {
+			for k := range sh.m {
+				delete(sh.m, k)
+				break
+			}
+		}
+		sh.m[strings.Clone(rawQ)] = v
+	}
+	sh.mu.Unlock()
+}
+
+// len reports the resident entry count (tests).
+func (c *queryCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// rawParam extracts the raw (still percent-escaped) value of key from
+// an URL query string without allocating: the warm serve path must not
+// pay url.Values' map for two known parameters. Only literal,
+// unescaped keys are matched — the keys this server defines ("q",
+// "mode") have no characters that escape.
+func rawParam(raw, key string) (val string, ok bool) {
+	for len(raw) > 0 {
+		seg := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			if seg == key {
+				return "", true
+			}
+			continue
+		}
+		if seg[:eq] == key {
+			return seg[eq+1:], true
+		}
+	}
+	return "", false
+}

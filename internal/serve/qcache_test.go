@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQueryCachePutGet(t *testing.T) {
+	c := newQueryCache(64)
+	if got := c.get("q=alpha"); got != nil {
+		t.Fatalf("cold get = %v, want nil", got)
+	}
+	v := &cachedQuery{echo: "alpha", terms: []int{1, 2}}
+	c.put("alpha", v)
+	if got := c.get("alpha"); got != v {
+		t.Fatalf("get after put = %v, want %v", got, v)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+	// A second put under the same key keeps the resident entry.
+	c.put("alpha", &cachedQuery{echo: "other"})
+	if got := c.get("alpha"); got != v {
+		t.Errorf("duplicate put replaced resident entry")
+	}
+}
+
+func TestQueryCacheBounded(t *testing.T) {
+	const max = 16
+	c := newQueryCache(max)
+	for i := 0; i < 10*max; i++ {
+		key := fmt.Sprintf("q%d", i)
+		c.put(key, &cachedQuery{echo: key})
+	}
+	if n := c.len(); n > max {
+		t.Errorf("cache holds %d entries, bound is %d", n, max)
+	}
+	if n := c.len(); n == 0 {
+		t.Error("eviction emptied the cache entirely")
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	c := newQueryCache(0)
+	c.put("alpha", &cachedQuery{echo: "alpha"})
+	if got := c.get("alpha"); got != nil {
+		t.Errorf("disabled cache returned %v", got)
+	}
+	if c.len() != 0 {
+		t.Errorf("disabled cache len = %d", c.len())
+	}
+}
+
+func TestRawParam(t *testing.T) {
+	cases := []struct {
+		raw, key, val string
+		ok            bool
+	}{
+		{"q=alpha+beta&mode=and", "q", "alpha+beta", true},
+		{"q=alpha+beta&mode=and", "mode", "and", true},
+		{"mode=and&q=x", "q", "x", true},
+		{"q=alpha", "mode", "", false},
+		{"", "q", "", false},
+		{"q", "q", "", true},                  // bare key, no '='
+		{"q=", "q", "", true},                 // empty value
+		{"qq=x&q=y", "q", "y", true},          // key must match exactly, not by prefix
+		{"a=1&&q=z", "q", "z", true},          // empty segment skipped
+		{"q=%20hi%20", "q", "%20hi%20", true}, // value stays raw (escaped)
+	}
+	for _, c := range cases {
+		val, ok := rawParam(c.raw, c.key)
+		if val != c.val || ok != c.ok {
+			t.Errorf("rawParam(%q, %q) = (%q, %v), want (%q, %v)",
+				c.raw, c.key, val, ok, c.val, c.ok)
+		}
+	}
+}
+
+// TestQueryCacheServesHits drives the same query through the handler
+// twice and checks the second request was a cache hit with an identical
+// response.
+func TestQueryCacheServesHits(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	first := get(t, h, "/search?q=alpha+beta")
+	hits0 := s.ops.QueryCacheHits.Load()
+	second := get(t, h, "/search?q=alpha+beta")
+	if got := s.ops.QueryCacheHits.Load(); got != hits0+1 {
+		t.Errorf("cache hits = %d, want %d", got, hits0+1)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Errorf("cached response differs:\n%s\nvs\n%s", first.Body, second.Body)
+	}
+	if s.ops.QueryCacheMisses.Load() == 0 {
+		t.Error("no misses recorded for the cold request")
+	}
+}

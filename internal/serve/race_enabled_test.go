@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the allocation-budget gate skips itself there, since race
+// instrumentation allocates on paths that are clean in a plain build.
+const raceDetectorEnabled = true

@@ -34,6 +34,7 @@ import (
 	"hash/fnv"
 	"io/fs"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -104,6 +105,11 @@ type Config struct {
 	// SnapshotInterval is the period of the background snapshot loop
 	// (default 5s).
 	SnapshotInterval time.Duration
+	// QueryCacheSize bounds the preparsed-query cache on the /search
+	// path. The workload's Zipfian head means a few thousand entries
+	// absorb nearly all traffic; a hit serves without parsing — or
+	// allocating — anything. Zero means 4096; negative disables caching.
+	QueryCacheSize int
 	// BreakerThreshold / BreakerCooldown tune the controller's panic
 	// circuit breaker (see core.LoopConfig); zeros take the core
 	// defaults.
@@ -137,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 5 * time.Second
 	}
+	if c.QueryCacheSize == 0 {
+		c.QueryCacheSize = 4096
+	}
 	return c
 }
 
@@ -161,6 +170,7 @@ type Server struct {
 
 	// Resilience state.
 	inFlight      atomic.Int64
+	qcache        *queryCache
 	ops           metrics.OpsCounters
 	store         *persist.Store
 	modelSig      string
@@ -180,7 +190,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: c, engine: engine, reg: core.NewRegistry(), restoreNote: "disabled"}
+	s := &Server{
+		cfg: c, engine: engine, reg: core.NewRegistry(), restoreNote: "disabled",
+		qcache: newQueryCache(c.QueryCacheSize),
+	}
 
 	// Calibration phase.
 	calQueries, err := engine.GenerateQueries(workload.Split(c.Seed, 1), c.CalibrationQueries)
@@ -510,9 +523,12 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// withResilience wraps a handler with the degraded-mode serving layer:
-// the in-flight cap (shed with 503 + Retry-After instead of queuing
-// unboundedly) and the per-request deadline.
+// withResilience wraps a handler with the in-flight cap (shed with 503
+// + Retry-After instead of queuing unboundedly). The per-request
+// deadline is NOT a context here: context.WithTimeout allocates a
+// timer and a context per request, so the serving path instead carries
+// an explicit deadline time (see serveQuery), which costs one time.Now
+// read at entry and nothing on the allocator.
 func (s *Server) withResilience(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.cfg.MaxInFlight > 0 {
@@ -525,13 +541,17 @@ func (s *Server) withResilience(h http.HandlerFunc) http.HandlerFunc {
 			}
 			defer s.inFlight.Add(-1)
 		}
-		if s.cfg.RequestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
 		h(w, r)
 	}
+}
+
+// requestDeadline computes the explicit deadline for one request; the
+// zero time means no deadline.
+func (s *Server) requestDeadline() time.Time {
+	if s.cfg.RequestTimeout > 0 {
+		return time.Now().Add(s.cfg.RequestTimeout)
+	}
+	return time.Time{}
 }
 
 // degradedReasons reports why the service is not at full quality (empty
@@ -568,15 +588,35 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type docScanner interface {
 	Step() bool
 	Processed() int
-	TopN() []int
+	TopNInto([]int) []int
 }
 
-// serveQuery runs one query's scan under the given loop controller,
-// honoring the request context: if the deadline expires mid-scan the
-// partial results scored so far are returned, marked degraded. and
-// selects the conjunctive QoS comparison (the monitored precise rerun
-// must execute the same retrieval semantics as the approximated scan).
-func (s *Server) serveQuery(ctx context.Context, loop *core.Loop, scan docScanner, q search.Query, and bool) (*searchResponse, error) {
+// serveScratch is the pooled per-request working set of the /search
+// path: the scanners, the response struct with its docs slice, and the
+// JSON encode buffer. One pool Get serves the whole request; nothing
+// on the warm path touches the allocator (gated by
+// TestServeWarmPathZeroAlloc and check.sh).
+type serveScratch struct {
+	scan    search.Scan
+	scanAnd search.ScanAnd
+	resp    searchResponse
+	buf     []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(serveScratch) }}
+
+func (sc *serveScratch) release() {
+	sc.resp.Query = "" // drop the cached-echo reference
+	scratchPool.Put(sc)
+}
+
+// serveQuery runs one query's scan under the given loop controller into
+// sc.resp, honoring the client context (cancellation) and the explicit
+// deadline: if either expires mid-scan the partial results scored so
+// far are returned, marked degraded. and selects the conjunctive QoS
+// comparison (the monitored precise rerun must execute the same
+// retrieval semantics as the approximated scan).
+func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.Loop, scan docScanner, q search.Query, and bool, sc *serveScratch) error {
 	qos := serveQoSPool.Get().(*serveQoS)
 	qos.engine, qos.query, qos.topN = s.engine, q, s.cfg.TopN
 	qos.chaos = s.cfg.Chaos
@@ -584,17 +624,20 @@ func (s *Server) serveQuery(ctx context.Context, loop *core.Loop, scan docScanne
 	exec, err := loop.Begin(qos)
 	if err != nil {
 		qos.release()
-		return nil, err
+		return err
+	}
+	expired := func() bool {
+		return ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline))
 	}
 	i := 0
 	// An already-expired deadline still serves (an empty page beats an
 	// error); mid-scan, the deadline check is amortized over 64 scored
 	// documents so the fast path stays a couple of instructions per
 	// iteration.
-	degraded := ctx.Err() != nil
+	degraded := expired()
 	for !degraded && exec.Continue(i) && scan.Step() {
 		i++
-		if i&0x3f == 0 && ctx.Err() != nil {
+		if i&0x3f == 0 && expired() {
 			degraded = true
 		}
 	}
@@ -611,43 +654,74 @@ func (s *Server) serveQuery(ctx context.Context, loop *core.Loop, scan docScanne
 		s.monitoredFullDocs.Add(int64(scan.Processed()))
 		s.monitoredQueries.Add(1)
 	}
-	return &searchResponse{
-		Docs:          scan.TopN(),
+	sc.resp = searchResponse{
+		Docs:          scan.TopNInto(sc.resp.Docs),
 		DocsScored:    scan.Processed(),
 		Approximated:  res.Approximated,
 		MonitoredScan: res.Monitored,
 		Degraded:      degraded,
-	}, nil
+	}
+	return nil
+}
+
+// parsedQuery resolves the raw q parameter value through the
+// preparsed-query cache; a miss unescapes, tokenizes, and populates the
+// cache. A nil return means the query was empty or unparseable (the
+// caller 400s).
+func (s *Server) parsedQuery(rawQ string) *cachedQuery {
+	if cq := s.qcache.get(rawQ); cq != nil {
+		s.ops.QueryCacheHits.Add(1)
+		return cq
+	}
+	s.ops.QueryCacheMisses.Add(1)
+	qstr, err := url.QueryUnescape(rawQ)
+	if err != nil || strings.TrimSpace(qstr) == "" {
+		return nil
+	}
+	cq := &cachedQuery{echo: qstr, terms: s.termsOf(qstr)}
+	s.qcache.put(rawQ, cq)
+	return cq
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	qstr := r.URL.Query().Get("q")
-	if strings.TrimSpace(qstr) == "" {
+	rawQ, ok := rawParam(r.URL.RawQuery, "q")
+	if !ok || rawQ == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	terms := s.termsOf(qstr)
-	q := search.Query{Terms: terms}
-	switch mode := r.URL.Query().Get("mode"); mode {
+	cq := s.parsedQuery(rawQ)
+	if cq == nil {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	q := search.Query{Terms: cq.terms}
+	mode, _ := rawParam(r.URL.RawQuery, "mode")
+	switch mode {
 	case "", "or":
-		resp, err := s.serveQuery(r.Context(), s.loop, s.engine.NewScan(q, s.cfg.TopN), q, false)
-		if err != nil {
+		sc := scratchPool.Get().(*serveScratch)
+		sc.scan.Reset(s.engine, q, s.cfg.TopN)
+		if err := s.serveQuery(r.Context(), s.requestDeadline(), s.loop, &sc.scan, q, false, sc); err != nil {
+			sc.release()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		resp.Query = qstr
-		writeJSON(w, resp)
+		sc.resp.Query = cq.echo
+		writeSearchJSON(w, sc)
+		sc.release()
 	case "and":
 		if s.and != nil {
 			// The conjunctive scan is its own registered approximation
 			// site, with its own calibrated model and controller.
-			resp, err := s.serveQuery(r.Context(), s.and, s.engine.NewScanAnd(q, s.cfg.TopN), q, true)
-			if err != nil {
+			sc := scratchPool.Get().(*serveScratch)
+			sc.scanAnd.Reset(s.engine, q, s.cfg.TopN)
+			if err := s.serveQuery(r.Context(), s.requestDeadline(), s.and, &sc.scanAnd, q, true, sc); err != nil {
+				sc.release()
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
-			resp.Query = qstr
-			writeJSON(w, resp)
+			sc.resp.Query = cq.echo
+			writeSearchJSON(w, sc)
+			sc.release()
 			return
 		}
 		// Without ApproxAnd, strict conjunctive queries bypass
@@ -656,10 +730,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		docs, n := s.engine.SearchAnd(q, s.cfg.TopN, 0)
 		s.queries.Add(1)
 		s.docsScored.Add(int64(n))
-		writeJSON(w, &searchResponse{Query: qstr, Docs: docs, DocsScored: n})
+		writeJSON(w, &searchResponse{Query: cq.echo, Docs: docs, DocsScored: n})
 	default:
 		http.Error(w, "mode must be 'or' or 'and'", http.StatusBadRequest)
 	}
+}
+
+// jsonContentType is the shared Content-Type value, stored directly
+// into the header map: Header().Set allocates a fresh one-element
+// slice per call.
+var jsonContentType = []string{"application/json"}
+
+// writeSearchJSON encodes sc.resp through the scratch buffer and the
+// hand-rolled encoder (jsonfast.go) — the alloc-free analogue of
+// writeJSON for the /search shape.
+func writeSearchJSON(w http.ResponseWriter, sc *serveScratch) {
+	sc.buf = appendSearchJSON(sc.buf[:0], &sc.resp)
+	h := w.Header()
+	if len(h["Content-Type"]) == 0 {
+		h["Content-Type"] = jsonContentType
+	}
+	_, _ = w.Write(sc.buf)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -72,13 +72,23 @@ go test -race -count 1 -run TestChaosServiceSurvivesAndRecovers ./internal/serve
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 1x ./... > /dev/null
 
+echo "== serve path stays allocation-free =="
+# The warm /search request path (query-cache hit, pooled scratch,
+# hand-rolled JSON encode) has an allocation budget of zero, measured
+# with AllocsPerRun. A regression here silently turns the serving tier
+# back into a per-request allocator. (No -race: the detector's own
+# instrumentation allocates, and the test skips itself under it.)
+go test -count 1 -run TestServeWarmPathZeroAlloc ./internal/serve
+
 echo "== hot path stays allocation-free =="
-# The steady-state operational paths (Loop Begin/Continue/Finish and the
-# unified Func2 Call) must not allocate: one heap object per execution
-# was the regression the controller-core rework removed, and it must not
-# creep back. ns/op is too noisy to gate on shared runners; allocs/op is
-# exact.
-go test -run xxx -bench 'LoopHotPath/steady|Func2HotPath/steady' \
+# The steady-state operational paths (Loop Begin/Continue/Finish, the
+# unified Func2 Call, and the batched ExecN/CallN tier) must not
+# allocate: one heap object per execution was the regression the
+# controller-core rework removed, and it must not creep back. ns/op is
+# too noisy to gate on shared runners; allocs/op is exact. ServeQPS
+# rides along as the end-to-end smoke row: it must run and stay
+# allocation-free per warm request.
+go test -run xxx -bench 'LoopHotPath/steady|Func2HotPath/steady|LoopExecN/steady|FuncCallN/steady|Func2CallN/steady|ServeQPS' \
 	-benchmem -benchtime 100x -count 1 . | awk '
 	/^Benchmark/ {
 		for (i = 2; i <= NF; i++) {
@@ -90,7 +100,7 @@ go test -run xxx -bench 'LoopHotPath/steady|Func2HotPath/steady' \
 		seen++
 	}
 	END {
-		if (seen < 2) { print "FAIL: expected 2 steady-path benchmarks, saw " seen; exit 1 }
+		if (seen < 6) { print "FAIL: expected 6 steady-path benchmarks, saw " seen; exit 1 }
 		exit bad
 	}'
 
