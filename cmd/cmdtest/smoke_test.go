@@ -3,8 +3,10 @@ package cmdtest
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -103,17 +105,32 @@ func TestGreenlintList(t *testing.T) {
 	}
 	for _, check := range []string{
 		"beginfinish", "continuecond", "slarange", "ctrlcopy", "calorder",
+		"taintsink", "taintendorse", "taintescape",
 		"suggestreduce", "suggestconverge", "suggestscan",
 	} {
 		if !strings.Contains(out, check) {
 			t.Errorf("greenlint -list is missing check %q:\n%s", check, out)
 		}
 	}
-	// Every line carries the category column; both categories appear.
+	// Every line carries the category and tier columns; all four tiers
+	// appear across the suite.
+	tiers := map[string]int{}
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 		fields := strings.Fields(line)
-		if len(fields) < 3 || (fields[1] != "contract" && fields[1] != "suggest") {
+		if len(fields) < 4 || (fields[1] != "contract" && fields[1] != "suggest") {
 			t.Errorf("list line missing category column: %q", line)
+			continue
+		}
+		switch fields[2] {
+		case "block", "cfg", "suggest", "interproc":
+			tiers[fields[2]]++
+		default:
+			t.Errorf("list line has unknown tier %q: %q", fields[2], line)
+		}
+	}
+	for _, tier := range []string{"block", "cfg", "suggest", "interproc"} {
+		if tiers[tier] == 0 {
+			t.Errorf("no check listed in tier %q:\n%s", tier, out)
 		}
 	}
 }
@@ -135,6 +152,13 @@ func TestGreenlintUnknownCheckExitsTwo(t *testing.T) {
 	}
 	if !strings.Contains(out, "valid:") || !strings.Contains(out, "finishpath") {
 		t.Errorf("unknown-check error does not list the valid names:\n%s", out)
+	}
+	// The valid names carry their tier, so the user sees the cost class
+	// of what they could have asked for.
+	for _, want := range []string{"finishpath(cfg)", "taintsink(interproc)", "beginfinish(block)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unknown-check error is missing %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -262,6 +286,124 @@ func TestGreenlintSuggestScaffolds(t *testing.T) {
 	}
 	if strip(out1) != strip(out2) {
 		t.Errorf("suggestion output not deterministic across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+}
+
+// TestGreenlintCostProfile checks the measured-cost ranking end to end:
+// a profile entry matching a suggested loop re-scores and re-renders it,
+// unmatched suggestions fall back to the static score, and a malformed
+// profile is a usage error.
+func TestGreenlintCostProfile(t *testing.T) {
+	fixture := "internal/lint/testdata/suggest/dftkernel"
+	stdout, _, code := runSplit(t, "greenlint", "-suggest", "-format", "json", fixture)
+	if code != 0 {
+		t.Fatalf("baseline -suggest run exited %d:\n%s", code, stdout)
+	}
+	var diags []struct {
+		File string  `json:"file"`
+		Line int     `json:"line"`
+		Kind string  `json:"kind"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("json output: %v\n%s", err, stdout)
+	}
+	var key string
+	for _, d := range diags {
+		if d.Kind != "" {
+			key = d.File + ":" + strconv.Itoa(d.Line)
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("fixture produced no suggestion to profile")
+	}
+
+	profile := filepath.Join(t.TempDir(), "cost.json")
+	if err := os.WriteFile(profile, []byte(`{"`+key+`": 123456}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runSplit(t, "greenlint", "-cost-profile", profile, fixture)
+	if code != 0 {
+		t.Fatalf("greenlint -cost-profile exited %d:\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "measured 123456 ns/op") {
+		t.Errorf("measured score missing from output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "re-ranked 1 of") {
+		t.Errorf("stderr does not report the re-rank count:\n%s", stderr)
+	}
+
+	// A profile matching nothing falls back to static scores with a
+	// warning, not an error.
+	if err := os.WriteFile(profile, []byte(`{"no/such.go:9": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = runSplit(t, "greenlint", "-cost-profile", profile, fixture)
+	if code != 0 {
+		t.Fatalf("unmatched profile exited %d, want 0:\n%s%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "measured") || !strings.Contains(stderr, "matched no suggestion") {
+		t.Errorf("unmatched profile did not fall back cleanly:\nstdout: %s\nstderr: %s", stdout, stderr)
+	}
+
+	// Malformed profiles are usage errors (exit 2).
+	if err := os.WriteFile(profile, []byte(`{"a.go:0": -1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := run(t, "greenlint", "-cost-profile", profile, fixture); code != 2 {
+		t.Fatalf("malformed profile exited %d, want 2:\n%s", code, out)
+	}
+}
+
+// TestGreenlintTaintFlows checks the interprocedural tier end to end:
+// the fixture findings come out with their flow paths in text mode and
+// as SARIF codeFlows.
+func TestGreenlintTaintFlows(t *testing.T) {
+	fixture := "internal/lint/testdata/src/taintsink"
+	out, code := run(t, "greenlint", "-checks", "taintsink", fixture)
+	if code != 1 {
+		t.Fatalf("greenlint on the taint fixture exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[taintsink]") {
+		t.Errorf("missing [taintsink] findings:\n%s", out)
+	}
+	for _, step := range []string{"approximate source:", "sink: "} {
+		if !strings.Contains(out, step) {
+			t.Errorf("text output missing flow step %q:\n%s", step, out)
+		}
+	}
+
+	stdout, _, code := runSplit(t, "greenlint", "-checks", "taintsink", "-format", "sarif", fixture)
+	if code != 1 {
+		t.Fatalf("sarif taint run exited %d, want 1", code)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				CodeFlows []struct {
+					ThreadFlows []struct {
+						Locations []json.RawMessage `json:"locations"`
+					} `json:"threadFlows"`
+				} `json:"codeFlows"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("sarif output: %v", err)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) < 4 {
+		t.Fatalf("want >= 4 taint results, got %+v", doc.Runs)
+	}
+	for _, r := range doc.Runs[0].Results {
+		if len(r.CodeFlows) != 1 || len(r.CodeFlows[0].ThreadFlows) != 1 {
+			t.Errorf("result %s missing its codeFlow", r.RuleID)
+			continue
+		}
+		if len(r.CodeFlows[0].ThreadFlows[0].Locations) < 2 {
+			t.Errorf("result %s codeFlow has fewer than 2 locations", r.RuleID)
+		}
 	}
 }
 

@@ -57,12 +57,14 @@ func main() {
 		list       = flag.Bool("list", false, "list available checks and exit")
 		suggest    = flag.Bool("suggest", false, "run suggestion-mode site discovery (advisory)")
 		suggestDir = flag.String("suggest-dir", "", "write a green.Loop scaffold per suggestion under this directory (implies -suggest)")
+		costFile   = flag.String("cost-profile", "", "JSON file mapping file:line to measured ns/op; re-ranks matching suggestions by measured cost (implies -suggest)")
 		failOn     = flag.String("fail-on", "", "additionally fail the run on: suggest")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: greenlint [-checks name,...] [-format text|json|sarif] [-list]\n"+
-				"                 [-suggest] [-suggest-dir dir] [-fail-on suggest] [packages]\n\n"+
+				"                 [-suggest] [-suggest-dir dir] [-cost-profile file]\n"+
+				"                 [-fail-on suggest] [packages]\n\n"+
 				"Lints Green API usage and (with -suggest) discovers approximable loops.\n"+
 				"Packages default to ./...; arguments may be go-list patterns or plain\n"+
 				"directories.\n\n")
@@ -72,12 +74,23 @@ func main() {
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %-9s %s\n", a.Name, a.Category, a.Doc)
+			fmt.Printf("%-16s %-9s %-10s %s\n", a.Name, a.Category, a.Tier, a.Doc)
 		}
 		return
 	}
-	if *suggestDir != "" {
+	if *suggestDir != "" || *costFile != "" {
 		*suggest = true
+	}
+	var costProfile lint.CostProfile
+	if *costFile != "" {
+		data, err := os.ReadFile(*costFile)
+		if err != nil {
+			fatal(err)
+		}
+		costProfile, err = lint.ParseCostProfile(data)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *failOn != "" && *failOn != "suggest" {
 		fatal(fmt.Errorf("unknown -fail-on value %q (valid: suggest)", *failOn))
@@ -108,6 +121,14 @@ func main() {
 	merged := lint.Merge(results)
 
 	cwd, _ := os.Getwd()
+	if costProfile != nil {
+		matched := lint.ApplyCostProfile(merged.Suggestions, costProfile, cwd)
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "greenlint: cost profile %s matched no suggestion (static scores kept)\n", *costFile)
+		} else {
+			fmt.Fprintf(os.Stderr, "greenlint: cost profile re-ranked %d of %d suggestion(s)\n", matched, len(merged.Suggestions))
+		}
+	}
 	if *suggestDir != "" {
 		if err := writeScaffolds(*suggestDir, cwd, dirs, pkgNames, results); err != nil {
 			fatal(err)
@@ -175,7 +196,7 @@ func parseChecks(flagValue string, suggest bool) (selection, error) {
 		if a == nil {
 			var valid []string
 			for _, a := range lint.Analyzers() {
-				valid = append(valid, a.Name)
+				valid = append(valid, fmt.Sprintf("%s(%s)", a.Name, a.Tier))
 			}
 			return selection{}, fmt.Errorf("unknown check %q (valid: %s)", n, strings.Join(valid, ", "))
 		}
@@ -183,7 +204,7 @@ func parseChecks(flagValue string, suggest bool) (selection, error) {
 			if !suggest {
 				var valid []string
 				for _, a := range lint.AnalyzersByCategory(lint.CategoryContract) {
-					valid = append(valid, a.Name)
+					valid = append(valid, fmt.Sprintf("%s(%s)", a.Name, a.Tier))
 				}
 				return selection{}, fmt.Errorf("check %q requires -suggest (valid without it: %s)",
 					n, strings.Join(valid, ", "))

@@ -14,6 +14,7 @@ import (
 var analyzerBeginFinish = &Analyzer{
 	Name:     "beginfinish",
 	Category: CategoryContract,
+	Tier:     TierBlock,
 	Doc:      "a Loop.Begin execution handle must have Finish called on it",
 	run:      runBeginFinish,
 }

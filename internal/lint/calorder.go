@@ -17,6 +17,7 @@ import (
 var analyzerCalOrder = &Analyzer{
 	Name:     "calorder",
 	Category: CategoryContract,
+	Tier:     TierBlock,
 	Doc:      "App.Register must come before the App's first ObserveAppQoS",
 	run:      runCalOrder,
 }

@@ -14,6 +14,7 @@ import (
 var analyzerContinueCond = &Analyzer{
 	Name:     "continuecond",
 	Category: CategoryContract,
+	Tier:     TierBlock,
 	Doc:      "exec.Continue(i) must guard the for condition with a non-constant iteration argument",
 	run:      runContinueCond,
 }

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Measured-cost ranking for suggestion mode.
+//
+// The static rank of a suggestion is the 4^(depth−1) nesting proxy: a
+// guess that deeper loops are hotter. A cost profile replaces the guess
+// with data: a JSON object mapping "file:line" (the loop's position, as
+// the suggestion reports it) to measured nanoseconds per operation,
+// produced by a benchmark harness (scripts/cost_profile.sh emits a
+// skeleton to fill in) or by hand from pprof output. Matched
+// suggestions are re-scored with the measurement and marked; unmatched
+// ones keep the static score, so a partial profile degrades to the
+// static ranking instead of failing. Measured scores are plain ns/op
+// magnitudes, so with a profile present the measured sites outrank the
+// static proxies in practice — which is the point: the profile is
+// evidence, the proxy is a prior.
+
+// CostProfile maps "file:line" to measured cost in ns per op.
+type CostProfile map[string]float64
+
+// ParseCostProfile decodes and validates a profile document: a single
+// JSON object whose keys look like file:line and whose values are
+// positive, finite numbers.
+func ParseCostProfile(data []byte) (CostProfile, error) {
+	var raw map[string]float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("lint: cost profile is not a JSON object of numbers: %w", err)
+	}
+	cp := make(CostProfile, len(raw))
+	for k, v := range raw {
+		file, line, ok := splitCostKey(k)
+		if !ok {
+			return nil, fmt.Errorf("lint: cost profile key %q is not file:line", k)
+		}
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil, fmt.Errorf("lint: cost profile value for %q must be a positive finite ns/op, got %v", k, v)
+		}
+		cp[costKey(file, line)] = v
+	}
+	return cp, nil
+}
+
+// splitCostKey parses "file:line", tolerating colons in the file part
+// (the line is whatever follows the last colon).
+func splitCostKey(k string) (file string, line int, ok bool) {
+	i := strings.LastIndexByte(k, ':')
+	if i <= 0 || i == len(k)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(k[i+1:])
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return k[:i], n, true
+}
+
+func costKey(file string, line int) string {
+	return filepath.ToSlash(file) + ":" + strconv.Itoa(line)
+}
+
+// lookup resolves a suggestion position against the profile, trying the
+// path relative to base (how the driver prints findings), the absolute
+// path, then the bare basename — so profiles written from driver
+// output, from pprof, or by hand all match.
+func (cp CostProfile) lookup(base, file string, line int) (float64, bool) {
+	for _, key := range []string{
+		costKey(relPath(base, file), line),
+		costKey(file, line),
+		costKey(filepath.Base(file), line),
+	} {
+		if ns, ok := cp[key]; ok {
+			return ns, true
+		}
+	}
+	return 0, false
+}
+
+// ApplyCostProfile re-scores the suggestions that match the profile
+// (Score = measured ns/op, Measured = true, message re-rendered) and
+// re-sorts the slice so measured hot spots rank first. Unmatched
+// suggestions keep their static score and position semantics. The
+// number of matched suggestions is returned so drivers can warn when a
+// profile matched nothing (a typo'd path, usually).
+func ApplyCostProfile(sugs []Suggestion, cp CostProfile, base string) int {
+	if len(cp) == 0 {
+		return 0
+	}
+	matched := 0
+	for i := range sugs {
+		d := &sugs[i].Diag
+		ns, ok := cp.lookup(base, d.Pos.Filename, d.Pos.Line)
+		if !ok {
+			continue
+		}
+		matched++
+		sugs[i].Score = ns
+		sugs[i].Measured = true
+		d.Message = renderSuggestion(&sugs[i])
+	}
+	if matched > 0 {
+		SortSuggestions(sugs)
+	}
+	return matched
+}

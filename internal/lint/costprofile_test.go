@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCostProfile(t *testing.T) {
+	cp, err := ParseCostProfile([]byte(`{"a.go:10": 1500.5, "dir/b.go:2": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp) != 2 || cp["a.go:10"] != 1500.5 || cp["dir/b.go:2"] != 3 {
+		t.Errorf("parsed profile = %v", cp)
+	}
+	for _, bad := range []string{
+		`[1,2]`,                 // not an object
+		`{"a.go": 1}`,           // no line
+		`{"a.go:0": 1}`,         // line must be positive
+		`{"a.go:x": 1}`,         // non-numeric line
+		`{"a.go:10": 0}`,        // zero cost
+		`{"a.go:10": -5}`,       // negative cost
+		`{"a.go:10": "fast"}`,   // non-numeric cost
+		`{":10": 1}`,            // empty file
+		`{"a.go:10": 1} excess`, // trailing garbage
+	} {
+		if _, err := ParseCostProfile([]byte(bad)); err == nil {
+			t.Errorf("ParseCostProfile accepted %q", bad)
+		}
+	}
+}
+
+func TestCostProfileLookup(t *testing.T) {
+	cp := CostProfile{
+		"pkg/f.go:10": 100,
+		"/abs/g.go:5": 200,
+		"h.go:7":      300,
+	}
+	if ns, ok := cp.lookup("/root", "/root/pkg/f.go", 10); !ok || ns != 100 {
+		t.Errorf("relative lookup = %v %v", ns, ok)
+	}
+	if ns, ok := cp.lookup("/root", "/abs/g.go", 5); !ok || ns != 200 {
+		t.Errorf("absolute lookup = %v %v", ns, ok)
+	}
+	if ns, ok := cp.lookup("/root", "/elsewhere/deep/h.go", 7); !ok || ns != 300 {
+		t.Errorf("basename lookup = %v %v", ns, ok)
+	}
+	if _, ok := cp.lookup("/root", "/root/pkg/f.go", 11); ok {
+		t.Error("lookup matched the wrong line")
+	}
+}
+
+// TestApplyCostProfile covers the override, the fallback, and the
+// determinism of repeated application.
+func TestApplyCostProfile(t *testing.T) {
+	pkg, err := testLoader().Load("../dft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Suggest(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) < 2 {
+		t.Fatalf("need at least 2 dft suggestions, got %d", len(base))
+	}
+	// Measure the currently lowest-ranked site: the override must
+	// promote it to the top.
+	last := base[len(base)-1].Diag.Pos
+	cp := CostProfile{
+		costKey(last.Filename, last.Line): 9e6,
+		"no/such/file.go:1":               1,
+	}
+
+	run := func() []Suggestion {
+		sugs, err := Suggest(pkg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := ApplyCostProfile(sugs, cp, ""); n != 1 {
+			t.Fatalf("matched %d suggestions, want 1", n)
+		}
+		return sugs
+	}
+	got := run()
+	top := got[0]
+	if top.Diag.Pos.Filename != last.Filename || top.Diag.Pos.Line != last.Line {
+		t.Errorf("measured site did not rank first: top is %s:%d", top.Diag.Pos.Filename, top.Diag.Pos.Line)
+	}
+	if !top.Measured || top.Score != 9e6 {
+		t.Errorf("top suggestion not re-scored: measured=%v score=%v", top.Measured, top.Score)
+	}
+	if !strings.Contains(top.Diag.Message, "measured 9000000 ns/op") {
+		t.Errorf("message not re-rendered: %q", top.Diag.Message)
+	}
+	// Unmatched suggestions keep the static proxy (the fallback).
+	for _, s := range got[1:] {
+		if s.Measured {
+			t.Errorf("unmatched suggestion marked measured: %s", s.Diag.Message)
+		}
+		if strings.Contains(s.Diag.Message, "measured") {
+			t.Errorf("unmatched suggestion re-rendered: %q", s.Diag.Message)
+		}
+	}
+	// Determinism: a second independent run renders identically.
+	again := run()
+	if len(again) != len(got) {
+		t.Fatalf("run lengths differ: %d vs %d", len(again), len(got))
+	}
+	for i := range got {
+		if got[i].Diag.String() != again[i].Diag.String() {
+			t.Errorf("run %d differs:\n%s\n%s", i, got[i].Diag, again[i].Diag)
+		}
+	}
+	// An empty profile is a no-op.
+	sugs, _ := Suggest(pkg, nil)
+	if n := ApplyCostProfile(sugs, nil, ""); n != 0 {
+		t.Errorf("nil profile matched %d", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 var analyzerCtrlCopy = &Analyzer{
 	Name:     "ctrlcopy",
 	Category: CategoryContract,
+	Tier:     TierBlock,
 	Doc:      "mutex-bearing Green controllers (Loop, Func, Func2, App, Registry) must not be copied by value",
 	run:      runCtrlCopy,
 }

@@ -19,6 +19,7 @@ import (
 var analyzerErrDrop = &Analyzer{
 	Name:     "errdrop",
 	Category: CategoryContract,
+	Tier:     TierCFG,
 	Doc:      "error results of Green API calls (constructors, SetAdaptive, Restore, ...) must not be discarded",
 	run:      runErrDrop,
 }

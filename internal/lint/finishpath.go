@@ -47,6 +47,7 @@ import (
 var analyzerFinishPath = &Analyzer{
 	Name:     "finishpath",
 	Category: CategoryContract,
+	Tier:     TierCFG,
 	Doc:      "every control-flow path from Loop.Begin must reach exactly one Finish (early returns included)",
 	run:      runFinishPath,
 }

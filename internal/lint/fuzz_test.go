@@ -172,6 +172,57 @@ func (v *r) f(w, h int, m map[string]int) {
 	_ = zig
 }
 `,
+		// Taint-shaped seeds: source→sink chains, recursion through the
+		// summary fixpoint, escapes, and endorse directives in every
+		// state (reasoned, reasonless, dangling).
+		`package p
+
+import (
+	"fmt"
+
+	"green/internal/core"
+)
+
+func chain(f *core.Func, c *core.FuncCalibration, x float64) error {
+	y := helper(f, x)
+	if y > 1 {
+		return fmt.Errorf("too big: %v", y)
+	}
+	return c.AddSample(0, x, y)
+}
+
+func helper(f *core.Func, x float64) float64 {
+	return rec(f, x, 3)
+}
+
+func rec(f *core.Func, x float64, n int) float64 {
+	if n == 0 {
+		return f.Call(x)
+	}
+	return rec(f, x, n-1)
+}
+
+func escape(l *core.Loop, q core.LoopQoS, out chan float64) {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return
+	}
+	s := 0.0
+	i := 0
+	for ; exec.Continue(i); i++ {
+		s += float64(i)
+	}
+	exec.Finish(i)
+	out <- s
+	go func() { out <- s }()
+}
+
+func endorsed(f *core.Func, x float64) error {
+	//greenlint:endorse deliberate operator-facing report
+	return fmt.Errorf("%v", f.Call(x))
+}
+`,
+		"package p\n//greenlint:endorse\n//greenlint:endorse dangling reason\nfunc f() {}\n",
 		// Syntax-adjacent garbage.
 		"package p\nfunc f() { if { } }\n",
 		"package p\nfunc (",

@@ -20,6 +20,7 @@ import (
 var analyzerHandleEscape = &Analyzer{
 	Name:     "handleescape",
 	Category: CategoryContract,
+	Tier:     TierCFG,
 	Doc:      "a pooled Loop.Begin handle must not outlive its frame (returned, stored in a struct/global, or captured by a goroutine)",
 	run:      runHandleEscape,
 }

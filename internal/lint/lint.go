@@ -55,6 +55,18 @@ type Diagnostic struct {
 	// SuppressReason is the justification of the //greenlint:ignore
 	// directive that suppressed this finding; empty for active findings.
 	SuppressReason string
+	// Flow is the source→sink path of an interprocedural finding, first
+	// step at the taint source, last step at the sink. Empty for
+	// single-point findings. The SARIF writer renders it as a codeFlow.
+	Flow []FlowStep
+}
+
+// FlowStep is one hop of a taint path: where it happened and what
+// happened there ("approximate source: ...", "passed to parameter ...",
+// "sink: ...").
+type FlowStep struct {
+	Pos  token.Position
+	Note string
 }
 
 // String formats the diagnostic in the canonical driver output form.
@@ -91,6 +103,21 @@ const (
 	CategorySuggest  = "suggest"
 )
 
+// Analyzer tiers describe the machinery a check runs on, from cheapest
+// to deepest. The driver's -list output prints the tier so users can
+// predict cost and precision:
+//
+//	block    — single-AST pattern checks, no flow reasoning
+//	cfg      — intraprocedural flow/path analysis over the CFG layer
+//	suggest  — CFG-driven site discovery (advisory)
+//	interproc— whole-package call-graph + summary analysis
+const (
+	TierBlock     = "block"
+	TierCFG       = "cfg"
+	TierSuggest   = "suggest"
+	TierInterproc = "interproc"
+)
+
 // An Analyzer is one named check.
 type Analyzer struct {
 	// Name is the check name used in diagnostics and -checks selection.
@@ -99,12 +126,15 @@ type Analyzer struct {
 	Doc string
 	// Category is CategoryContract or CategorySuggest.
 	Category string
-	run      func(*Pass)
+	// Tier is TierBlock, TierCFG, TierSuggest, or TierInterproc.
+	Tier string
+	run  func(*Pass)
 }
 
 // Analyzers returns the full suite in stable order: the five AST-level
-// checks of the original suite, the four CFG/dataflow analyzers, then
-// the suggestion-mode site-discovery family.
+// checks of the original suite, the four CFG/dataflow analyzers, the
+// interprocedural taint family, then the suggestion-mode site-discovery
+// family.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerBeginFinish,
@@ -116,6 +146,9 @@ func Analyzers() []*Analyzer {
 		analyzerHandleEscape,
 		analyzerErrDrop,
 		analyzerNonDet,
+		analyzerTaintSink,
+		analyzerTaintEndorse,
+		analyzerTaintEscape,
 		analyzerSuggestReduce,
 		analyzerSuggestConverge,
 		analyzerSuggestScan,
@@ -211,6 +244,14 @@ func sortDiags(diags []Diagnostic) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		// Interprocedural findings can share file:line:check (one sink,
+		// several origins); column and message keep the order total.
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
 	})
 }

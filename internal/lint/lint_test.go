@@ -82,6 +82,9 @@ func TestFixtures(t *testing.T) {
 		{"handleescape"},
 		{"errdrop"},
 		{"nondet"},
+		{"taintsink"},
+		{"taintendorse"},
+		{"taintescape"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.check, func(t *testing.T) {
@@ -164,6 +167,14 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		if a.Category != CategoryContract && a.Category != CategorySuggest {
 			t.Errorf("analyzer %q has unknown category %q", a.Name, a.Category)
+		}
+		switch a.Tier {
+		case TierBlock, TierCFG, TierSuggest, TierInterproc:
+		default:
+			t.Errorf("analyzer %q has unknown tier %q", a.Name, a.Tier)
+		}
+		if (a.Category == CategorySuggest) != (a.Tier == TierSuggest) {
+			t.Errorf("analyzer %q: tier %q does not match category %q", a.Name, a.Tier, a.Category)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

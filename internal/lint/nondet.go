@@ -24,6 +24,7 @@ import (
 var analyzerNonDet = &Analyzer{
 	Name:     "nondet",
 	Category: CategoryContract,
+	Tier:     TierCFG,
 	Doc:      "calibration/model code must not call time.Now or the global math/rand source; determinism keeps parallel calibration bit-identical",
 	run:      runNonDet,
 }

@@ -16,6 +16,7 @@ import (
 var analyzerSLARange = &Analyzer{
 	Name:     "slarange",
 	Category: CategoryContract,
+	Tier:     TierBlock,
 	Doc:      "literal config fields must be in range: SLA in (0,1], SampleInterval > 0, complete AdaptiveParams",
 	run:      runSLARange,
 }

@@ -36,6 +36,7 @@ import (
 var analyzerSuggestReduce = &Analyzer{
 	Name:     "suggestreduce",
 	Category: CategorySuggest,
+	Tier:     TierSuggest,
 	Doc:      "suggest: monotone-accumulator reduction loops that fit green.Loop early termination",
 	run:      func(p *Pass) { reportSuggestions(p, "suggestreduce") },
 }
@@ -43,6 +44,7 @@ var analyzerSuggestReduce = &Analyzer{
 var analyzerSuggestConverge = &Analyzer{
 	Name:     "suggestconverge",
 	Category: CategorySuggest,
+	Tier:     TierSuggest,
 	Doc:      "suggest: convergence loops whose condition compares an iteration-carried delta to a threshold",
 	run:      func(p *Pass) { reportSuggestions(p, "suggestconverge") },
 }
@@ -50,6 +52,7 @@ var analyzerSuggestConverge = &Analyzer{
 var analyzerSuggestScan = &Analyzer{
 	Name:     "suggestscan",
 	Category: CategorySuggest,
+	Tier:     TierSuggest,
 	Doc:      "suggest: early-exit scan loops (break on an accumulated-value comparison), the search/top-N shape",
 	run:      func(p *Pass) { reportSuggestions(p, "suggestscan") },
 }
@@ -82,8 +85,13 @@ type Suggestion struct {
 	Depth     int
 	BodyStmts int
 	Calls     int
-	// Score is the rank: higher means larger expected payoff.
+	// Score is the rank: higher means larger expected payoff. By default
+	// it is the static 4^(depth−1) nesting proxy; a -cost-profile match
+	// replaces it with the measured ns/op (and sets Measured).
 	Score float64
+	// Measured reports that Score is a measured cost from a profile
+	// rather than the static proxy.
+	Measured bool
 	// FnCallee names a dominant pure float64->float64 call site in the
 	// body, if one exists — the shape green.Func substitutes directly.
 	FnCallee string
@@ -832,6 +840,10 @@ func renderSuggestion(s *Suggestion) string {
 	extra := ""
 	if s.FnCallee != "" {
 		extra = fmt.Sprintf("; dominant pure call %s also fits green.Func substitution", s.FnCallee)
+	}
+	if s.Measured {
+		return fmt.Sprintf("%s (measured %.0f ns/op: depth %d, %d stmts, %d calls)%s",
+			what, s.Score, s.Depth, s.BodyStmts, s.Calls, extra)
 	}
 	return fmt.Sprintf("%s (score %.1f: depth %d, %d stmts, %d calls)%s",
 		what, s.Score, s.Depth, s.BodyStmts, s.Calls, extra)

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Per-function taint summaries: the currency of the bottom-up
+// interprocedural pass (taint.go). A summary answers, for one function,
+// the three questions a caller needs without re-analyzing the body:
+//
+//   - which results derive from which parameters (resultParams), so a
+//     tainted argument taints the matching results;
+//   - which approximate sources inside the function flow out through
+//     its results (resultSources), so a caller's use of the return
+//     value carries the origin along;
+//   - which precise-only sinks (or goroutine/channel escapes) each
+//     parameter can reach (paramSinks), so a tainted argument at a call
+//     site becomes a finding anchored at the real sink, path included.
+//
+// Summaries compose: paramSinks entries of a callee are re-exported by
+// the caller with the call step prepended, which is how a two-hop
+// source→helper→sink chain surfaces as one finding with a full path.
+// Path lengths and fan-out are capped (maxFlowSteps, maxSrcsPerValue,
+// maxSinksPerParam) so recursion cannot grow summaries without bound;
+// the caps lose path detail, never findings at the capped function
+// itself.
+
+const (
+	// maxFlowSteps bounds one reported source→sink path.
+	maxFlowSteps = 8
+	// maxSrcsPerValue bounds the distinct origins tracked per value.
+	maxSrcsPerValue = 8
+	// maxSinksPerParam bounds the sink records per summary parameter.
+	maxSinksPerParam = 16
+	// maxTrackedParams bounds the parameter bitset width.
+	maxTrackedParams = 64
+)
+
+// taintSource is one origin of approximation: a Func.Call result, an
+// exec.Continue-guarded loop's mutated state, or a derived origin (an
+// approximate value returned through a call chain). Sources are
+// memoized per syntactic site so repeated dataflow iterations reuse the
+// same atom; ord is the creation ordinal, the determinism anchor for
+// set union and reporting order.
+type taintSource struct {
+	ord int
+	// what is the short origin description used in messages.
+	what string
+	// steps is the origin-first path prefix: steps[0] is the source
+	// site, later steps are the call hops the value already traveled.
+	steps []FlowStep
+}
+
+// tv is the abstract taint of one value: a bitset of the enclosing
+// function's parameters it may derive from, plus the approximate
+// sources that may reach it. The lattice is (2^params × 2^sources)
+// ordered by inclusion; join is union; bottom is the zero tv.
+type tv struct {
+	params uint64
+	srcs   []*taintSource // sorted by ord, deduplicated
+}
+
+func (t tv) zero() bool    { return t.params == 0 && len(t.srcs) == 0 }
+func (t tv) tainted() bool { return len(t.srcs) > 0 }
+
+// union joins two taint values.
+func (t tv) union(o tv) tv {
+	if o.zero() {
+		return t
+	}
+	if t.zero() {
+		return o
+	}
+	return tv{params: t.params | o.params, srcs: mergeSrcs(t.srcs, o.srcs)}
+}
+
+// withSrc adds one source to the value.
+func (t tv) withSrc(s *taintSource) tv {
+	return tv{params: t.params, srcs: mergeSrcs(t.srcs, []*taintSource{s})}
+}
+
+// mergeSrcs merges two ord-sorted source sets, deduplicating by ord and
+// capping the result at maxSrcsPerValue (lowest ordinals — the earliest
+// discovered origins — win, keeping the set stable across iterations).
+func mergeSrcs(a, b []*taintSource) []*taintSource {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 && len(b) <= maxSrcsPerValue {
+		return b
+	}
+	out := make([]*taintSource, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].ord < b[j].ord):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].ord < a[i].ord:
+			out = append(out, b[j])
+			j++
+		default: // equal ord: same atom
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	if len(out) > maxSrcsPerValue {
+		out = out[:maxSrcsPerValue]
+	}
+	return out
+}
+
+// eqSrcs reports whether two ord-sorted source sets are identical.
+func eqSrcs(a, b []*taintSource) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// capSteps truncates a path to maxFlowSteps, keeping the first steps
+// (origin side) and forcing the final step to stay present.
+func capSteps(steps []FlowStep) []FlowStep {
+	if len(steps) <= maxFlowSteps {
+		return steps
+	}
+	out := make([]FlowStep, maxFlowSteps)
+	copy(out, steps[:maxFlowSteps-1])
+	out[maxFlowSteps-1] = steps[len(steps)-1]
+	return out
+}
+
+// sinkReach is one precise-only sink (check "taintsink") or frame
+// escape (check "taintescape") reachable from a summary parameter. pos
+// is the sink site itself — findings anchor there, so a
+// //greenlint:endorse at the sink covers every path into it — and
+// steps is the parameter-to-sink fragment of the flow path.
+type sinkReach struct {
+	check string
+	kind  string
+	pos   token.Position
+	steps []FlowStep
+}
+
+// funcSummary is the interprocedural summary of one function. Parameter
+// indices are receiver-first: a method's receiver is parameter 0 and
+// the declared parameters follow.
+type funcSummary struct {
+	name string
+	// resultParams[r] is the bitset of parameters flowing into result r.
+	resultParams []uint64
+	// resultSources[r] lists the approximate sources flowing into
+	// result r.
+	resultSources [][]*taintSource
+	// paramSinks[p] lists the sinks and escapes parameter p reaches.
+	paramSinks [][]sinkReach
+}
+
+func newFuncSummary(name string, nparams, nresults int) *funcSummary {
+	return &funcSummary{
+		name:          name,
+		resultParams:  make([]uint64, nresults),
+		resultSources: make([][]*taintSource, nresults),
+		paramSinks:    make([][]sinkReach, nparams),
+	}
+}
+
+// addResult joins a returned value's taint into result r.
+func (s *funcSummary) addResult(r int, t tv) {
+	if r < 0 || r >= len(s.resultParams) {
+		return
+	}
+	s.resultParams[r] |= t.params
+	s.resultSources[r] = mergeSrcs(s.resultSources[r], t.srcs)
+}
+
+// addParamSink records that parameter p reaches a sink, deduplicating
+// by (check, sink position, kind) and capping fan-out.
+func (s *funcSummary) addParamSink(p int, r sinkReach) {
+	if p < 0 || p >= len(s.paramSinks) || len(s.paramSinks[p]) >= maxSinksPerParam {
+		return
+	}
+	for _, have := range s.paramSinks[p] {
+		if have.check == r.check && have.kind == r.kind &&
+			have.pos.Filename == r.pos.Filename && have.pos.Line == r.pos.Line && have.pos.Column == r.pos.Column {
+			return
+		}
+	}
+	r.steps = capSteps(r.steps)
+	s.paramSinks[p] = append(s.paramSinks[p], r)
+}
+
+// key serializes the summary's caller-visible content; the SCC fixpoint
+// loop compares keys across iterations to detect convergence.
+func (s *funcSummary) key() string {
+	var b strings.Builder
+	for r := range s.resultParams {
+		fmt.Fprintf(&b, "r%d:%x[", r, s.resultParams[r])
+		for _, src := range s.resultSources[r] {
+			fmt.Fprintf(&b, "%d,", src.ord)
+		}
+		b.WriteString("];")
+	}
+	for p := range s.paramSinks {
+		reaches := append([]sinkReach(nil), s.paramSinks[p]...)
+		sort.Slice(reaches, func(i, j int) bool {
+			a, c := reaches[i], reaches[j]
+			if a.pos.Filename != c.pos.Filename {
+				return a.pos.Filename < c.pos.Filename
+			}
+			if a.pos.Line != c.pos.Line {
+				return a.pos.Line < c.pos.Line
+			}
+			if a.check != c.check {
+				return a.check < c.check
+			}
+			return a.kind < c.kind
+		})
+		fmt.Fprintf(&b, "p%d:", p)
+		for _, r := range reaches {
+			fmt.Fprintf(&b, "%s|%s|%s:%d:%d,", r.check, r.kind, r.pos.Filename, r.pos.Line, r.pos.Column)
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+// Package taintendorse is a greenlint fixture: auditing the
+// //greenlint:endorse directives themselves. A directive must carry a
+// reason and must still cover a live taintsink/taintescape finding on
+// its line or the next; everything else is flagged.
+package taintendorse
+
+import (
+	"fmt"
+
+	"green/internal/core"
+)
+
+// justified is the healthy case: a reasoned endorsement covering a real
+// flow. No finding.
+func justified(f *core.Func, x float64) error {
+	y := f.Call(x)
+	//greenlint:endorse the approximate output is deliberately surfaced to the operator
+	return fmt.Errorf("approx output %v", y)
+}
+
+// reasonless: the directive is inert (the taintsink finding it meant to
+// cover stays active) and taintendorse flags it.
+func reasonless(f *core.Func, x float64) error {
+	y := f.Call(x)
+	//greenlint:endorse // want "without a reason is inert"
+	return fmt.Errorf("approx output %v", y)
+}
+
+// stale: the flow this directive once covered is gone — the value it
+// blesses is precise — so the justification must go too.
+func stale(x float64) error {
+	//greenlint:endorse historical: used to cover an approximate read // want "stale endorsement"
+	return fmt.Errorf("precise output %v", x)
+}

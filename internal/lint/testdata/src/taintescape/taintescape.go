@@ -1,0 +1,59 @@
+// Package taintescape is a greenlint fixture: approximate values
+// crossing goroutine and channel boundaries, where the analysis loses
+// sight of them. The flow is reported at the crossing itself.
+package taintescape
+
+import (
+	"green/internal/core"
+)
+
+// channelEscape sends an approximate function result to another frame.
+func channelEscape(f *core.Func, x float64, out chan float64) {
+	y := f.Call(x)
+	out <- y // want "channel send"
+}
+
+// accumEscape: state mutated under the approximate loop leaves through
+// a channel after Finish.
+func accumEscape(l *core.Loop, q core.LoopQoS, xs []float64, out chan<- float64) error {
+	exec, err := l.Begin(q)
+	if err != nil {
+		return err
+	}
+	sum := 0.0
+	i := 0
+	for ; i < len(xs) && exec.Continue(i); i++ {
+		sum += xs[i]
+	}
+	exec.Finish(i)
+	out <- sum // want "channel send"
+	return nil
+}
+
+// goroutineArg hands an approximate value to a goroutine by argument.
+func goroutineArg(f *core.Func, x float64, consume func(float64)) {
+	y := f.Call(x)
+	go consume(y) // want "goroutine launch argument"
+}
+
+// closureCapture leaks the approximate value through a captured
+// variable instead of an argument.
+func closureCapture(f *core.Func, x float64, out []float64) {
+	y := f.Call(x)
+	go func() { // want "goroutine closure capture"
+		out[0] = y
+	}()
+}
+
+// endorsedEscape is the sanctioned crossing: the consumer is documented
+// to treat the value as approximate, so the directive suppresses it.
+func endorsedEscape(f *core.Func, x float64, out chan float64) {
+	y := f.Call(x)
+	//greenlint:endorse the consumer treats every value on this channel as approximate
+	out <- y
+}
+
+// precisePassthrough sends a precise value: no finding.
+func precisePassthrough(x float64, out chan float64) {
+	out <- x
+}

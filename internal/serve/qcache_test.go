@@ -2,6 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 )
 
@@ -66,6 +69,26 @@ func TestRawParam(t *testing.T) {
 		{"qq=x&q=y", "q", "y", true},          // key must match exactly, not by prefix
 		{"a=1&&q=z", "q", "z", true},          // empty segment skipped
 		{"q=%20hi%20", "q", "%20hi%20", true}, // value stays raw (escaped)
+		// Malformed %-escapes pass through untouched: rawParam never
+		// unescapes, so a bad sequence is the downstream parser's call
+		// (parsedQuery rejects it; see TestParsedQueryMalformedEscape).
+		{"q=%zz&mode=and", "q", "%zz", true},
+		{"q=%", "q", "%", true},
+		{"q=100%25+done", "q", "100%25+done", true},
+		// '+' is preserved raw — the unescape step decides it means space.
+		{"q=a+b+c", "q", "a+b+c", true},
+		// Repeated keys: first occurrence wins, matching url.Values.Get.
+		{"q=first&q=second", "q", "first", true},
+		{"q=&q=second", "q", "", true},
+		// Value containing '=': split on the first '=' only.
+		{"q=a=b", "q", "a=b", true},
+		// Empty key is not the searched key.
+		{"=value&q=x", "q", "x", true},
+		{"=value", "", "value", true},
+		// Trailing separators leave an empty final segment.
+		{"q=x&", "q", "x", true},
+		{"mode=and&", "q", "", false},
+		{"&", "q", "", false},
 	}
 	for _, c := range cases {
 		val, ok := rawParam(c.raw, c.key)
@@ -73,6 +96,94 @@ func TestRawParam(t *testing.T) {
 			t.Errorf("rawParam(%q, %q) = (%q, %v), want (%q, %v)",
 				c.raw, c.key, val, ok, c.val, c.ok)
 		}
+	}
+}
+
+// TestParsedQueryMalformedEscape: a raw value with a broken %-escape is
+// rejected (nil, caller 400s), counted as a miss, and never populates
+// the cache — so a repeated malformed query cannot turn into a hit on a
+// garbage entry.
+func TestParsedQueryMalformedEscape(t *testing.T) {
+	s := testServer(t)
+	misses0 := s.ops.QueryCacheMisses.Load()
+	for i := 0; i < 2; i++ {
+		if cq := s.parsedQuery("%zz"); cq != nil {
+			t.Fatalf("malformed escape parsed to %+v", cq)
+		}
+	}
+	if got := s.ops.QueryCacheMisses.Load(); got != misses0+2 {
+		t.Errorf("misses = %d, want %d (malformed queries must not cache)", got, misses0+2)
+	}
+	// Whitespace-only queries take the same path.
+	if cq := s.parsedQuery("+++"); cq != nil {
+		t.Errorf("whitespace-only query parsed to %+v", cq)
+	}
+}
+
+// TestQueryCacheCapacityConcurrent hammers a small cache from many
+// goroutines with a keyspace far larger than the bound: the random
+// in-shard replacement must keep the resident count at or under the
+// bound at every observation point, with reads racing the writers.
+// Run under -race in check.sh, this doubles as the locking proof.
+func TestQueryCacheCapacityConcurrent(t *testing.T) {
+	const max = 16
+	c := newQueryCache(max)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("q%d", (w*2000+i)%997)
+				if v := c.get(key); v != nil && v.echo != key {
+					t.Errorf("cache returned %q for key %q", v.echo, key)
+					return
+				}
+				c.put(key, &cachedQuery{echo: key})
+				if n := c.len(); n > max {
+					t.Errorf("cache grew to %d entries, bound is %d", n, max)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.len(); n == 0 || n > max {
+		t.Errorf("final cache size %d, want in (0, %d]", n, max)
+	}
+}
+
+// TestQueryCacheCountersConsistent: every request increments exactly one
+// of hits/misses, so under concurrent load the two counters must sum to
+// the request count — no lost or double-counted updates.
+func TestQueryCacheCountersConsistent(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	hits0 := s.ops.QueryCacheHits.Load()
+	misses0 := s.ops.QueryCacheMisses.Load()
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// A small rotating query set: plenty of hits and misses
+				// interleaved across goroutines.
+				path := fmt.Sprintf("/search?q=term%d", (w+i)%5)
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				h.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits := s.ops.QueryCacheHits.Load() - hits0
+	misses := s.ops.QueryCacheMisses.Load() - misses0
+	if hits+misses != workers*perWorker {
+		t.Errorf("hits %d + misses %d = %d, want %d", hits, misses, hits+misses, workers*perWorker)
+	}
+	if hits == 0 {
+		t.Error("no hits recorded for a 5-query working set")
 	}
 }
 

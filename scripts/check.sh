@@ -48,6 +48,45 @@ print(f"suggest smoke: {len(hits)} file(s) with candidates, kernels rediscovered
 EOF
 fi
 
+echo "== taint (self-run) =="
+# The interprocedural approximation-flow checks over the repo itself.
+# Any approximate->precise crossing in our own code must carry a
+# reasoned //greenlint:endorse, so this run exits 0; a new finding
+# means a fresh unsanctioned crossing (or a stale/reasonless
+# endorsement flagged by taintendorse).
+go run ./cmd/greenlint -checks taintsink,taintendorse,taintescape ./...
+
+echo "== taint (sarif codeflows) =="
+# Run the taint checks over their own fixtures, where findings are
+# expected (exit 1), and validate that every result carries a codeFlow
+# with at least two locations: the approximate source and the sink.
+# CI uploads greenlint-taint.sarif alongside the other SARIF artifacts.
+status=0
+go run ./cmd/greenlint -checks taintsink,taintescape -format sarif \
+	./internal/lint/testdata/src/taintsink \
+	./internal/lint/testdata/src/taintescape > greenlint-taint.sarif || status=$?
+if [ "$status" -ne 1 ]; then
+	echo "FAIL: taint fixture run exited $status, want 1 (findings expected)" >&2
+	exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+	python3 - <<'EOF'
+import json
+d = json.load(open("greenlint-taint.sarif"))
+assert d["version"] == "2.1.0", d["version"]
+results = d["runs"][0]["results"]
+assert len(results) >= 4, f"want >=4 taint findings in fixtures, got {len(results)}"
+for r in results:
+    flows = r.get("codeFlows")
+    assert flows and len(flows) == 1, f"result without codeFlow: {r['ruleId']}"
+    locs = flows[0]["threadFlows"][0]["locations"]
+    assert len(locs) >= 2, f"codeFlow with {len(locs)} location(s): {r['ruleId']}"
+    for loc in locs:
+        assert loc["location"]["message"]["text"], f"flow step without a note: {r['ruleId']}"
+print(f"taint smoke: {len(results)} finding(s), all with source->sink codeFlows")
+EOF
+fi
+
 echo "== tests =="
 go test ./...
 

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Emits a greenlint cost-profile skeleton: one JSON object mapping each
+# suggested loop's "file:line" to a ns/op figure, ready for
+# `greenlint -suggest -cost-profile <file>`.
+#
+# The skeleton seeds every entry with the suggestion's static score so
+# the file round-trips immediately; replace the values with measured
+# ns/op from your benchmark harness or pprof before trusting the
+# ranking — the whole point of the profile is substituting measurement
+# for the 4^(depth-1) nesting guess.
+#
+# Usage:
+#
+#	scripts/cost_profile.sh                         # ./... to stdout
+#	scripts/cost_profile.sh -o cost.json ./internal/...
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=""
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-o) out="$2"; shift 2 ;;
+	-*) echo "usage: $0 [-o file] [packages]" >&2; exit 2 ;;
+	*) break ;;
+	esac
+done
+[ $# -gt 0 ] || set -- ./...
+
+json=$(go run ./cmd/greenlint -suggest -format json "$@" | python3 -c '
+import json, sys
+
+prof = {}
+for d in json.load(sys.stdin):
+    # Suggestion entries carry the shape kind; contract findings do not.
+    if not d.get("kind"):
+        continue
+    prof["%s:%d" % (d["file"], d["line"])] = d.get("score", 1.0)
+json.dump(dict(sorted(prof.items())), sys.stdout, indent=2)
+print()
+')
+
+if [ -n "$out" ]; then
+	printf '%s\n' "$json" > "$out"
+	echo "cost_profile: wrote $out (replace the seeded static scores with measured ns/op)" >&2
+else
+	printf '%s\n' "$json"
+fi
