@@ -11,6 +11,7 @@
 package green_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -19,11 +20,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"green"
 	"green/internal/approxmath"
 	"green/internal/blackscholes"
 	"green/internal/cga"
+	"green/internal/cluster"
 	"green/internal/core"
 	"green/internal/dft"
 	"green/internal/metrics"
@@ -784,6 +787,97 @@ func BenchmarkServeQPS(b *testing.B) {
 		b.Fatal(err)
 	}
 	h := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/search?q=alpha+beta", nil)
+	w := &benchNullRW{h: make(http.Header, 4)}
+	for i := 0; i < 16; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+// benchClusterTransport dispatches coordinator requests straight into
+// worker handlers in-process, pooling its capture writers and caching
+// the per-target request objects, so BenchmarkClusterScatter measures
+// the coordinator's own scatter/parse/merge work rather than transport
+// or recorder overhead.
+type benchClusterTransport struct {
+	handlers map[string]http.Handler
+	targets  sync.Map // base -> *benchClusterTarget
+	writers  sync.Pool
+}
+
+type benchClusterTarget struct {
+	path string
+	req  *http.Request
+}
+
+type benchCaptureRW struct {
+	h    http.Header
+	buf  []byte
+	code int
+}
+
+func (w *benchCaptureRW) Header() http.Header { return w.h }
+func (w *benchCaptureRW) Write(b []byte) (int, error) {
+	w.buf = append(w.buf, b...)
+	return len(b), nil
+}
+func (w *benchCaptureRW) WriteHeader(code int) { w.code = code }
+
+func (t *benchClusterTransport) Do(ctx context.Context, method, base, path string, reqBody []byte, deadline time.Time, buf []byte) (int, []byte, error) {
+	h := t.handlers[base]
+	if h == nil {
+		return 0, buf, fmt.Errorf("bench transport: no handler for %s", base)
+	}
+	var tgt *benchClusterTarget
+	if v, ok := t.targets.Load(base); ok && v.(*benchClusterTarget).path == path {
+		tgt = v.(*benchClusterTarget)
+	} else {
+		tgt = &benchClusterTarget{path: path, req: httptest.NewRequest(method, base+path, nil)}
+		t.targets.Store(base, tgt)
+	}
+	w, _ := t.writers.Get().(*benchCaptureRW)
+	if w == nil {
+		w = &benchCaptureRW{h: make(http.Header, 4)}
+	}
+	w.buf, w.code = buf[:0], http.StatusOK
+	h.ServeHTTP(w, tgt.req)
+	body, code := w.buf, w.code
+	w.buf = nil
+	t.writers.Put(w)
+	return code, body, nil
+}
+
+// BenchmarkClusterScatter measures the coordinator's warm /search path
+// — scatter across three shard workers, strict partial parsing, global
+// merge, JSON encode — one op per federated request. The shard workers
+// run their own warm paths in-process, so the row tracks the whole
+// federation stack; the coordinator's own contribution is bounded by
+// the check.sh allocation gate (per-shard scatter goroutines plus the
+// query echo are the only per-request allocations).
+func BenchmarkClusterScatter(b *testing.B) {
+	bt := &benchClusterTransport{handlers: make(map[string]http.Handler)}
+	var shards []cluster.ShardSpec
+	for i := 0; i < 3; i++ {
+		s, err := serve.New(serve.Config{Seed: 7, CalibrationQueries: 60,
+			CorpusDocs: 2000, SampleInterval: 1 << 30, ShardIndex: i, ShardCount: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := fmt.Sprintf("http://s%d", i)
+		bt.handlers[base] = s.Handler()
+		shards = append(shards, cluster.ShardSpec{
+			Name: fmt.Sprintf("s%d", i), Replicas: []string{base}})
+	}
+	co, err := cluster.New(cluster.Config{Shards: shards, Transport: bt, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := co.Handler()
 	req := httptest.NewRequest(http.MethodGet, "/search?q=alpha+beta", nil)
 	w := &benchNullRW{h: make(http.Header, 4)}
 	for i := 0; i < 16; i++ {

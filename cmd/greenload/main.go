@@ -8,6 +8,9 @@
 //	greenload -url http://localhost:8080 -qps 200 -duration 10s -deadline 50ms
 //	greenload -url ... -sweep 50,100,200,400      # success rate per offered QPS
 //	greenload -url ... -closed -workers 16        # closed-loop peak throughput
+//	greenload -url ... -coordinator               # cluster front end: count
+//	                                              # degraded pages and blame
+//	                                              # shards via failed_shards
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -33,22 +37,25 @@ func main() {
 		seed     = flag.Int64("seed", 1, "query-mix seed")
 		closed   = flag.Bool("closed", false, "closed-loop mode: saturate with -workers in-flight requests (ignores -qps/-sweep)")
 		workers  = flag.Int("workers", 0, "closed-loop concurrency (0 uses the default)")
+		coord    = flag.Bool("coordinator", false, "target is a cluster coordinator: classify degraded partial pages and attribute them to failed shards")
 	)
 	flag.Parse()
 
 	if *closed {
 		res, err := loadgen.Run(context.Background(), loadgen.Config{
-			BaseURL:  *baseURL,
-			Duration: *duration,
-			Deadline: *deadline,
-			Seed:     *seed,
-			Closed:   true,
-			Workers:  *workers,
+			BaseURL:     *baseURL,
+			Duration:    *duration,
+			Deadline:    *deadline,
+			Seed:        *seed,
+			Closed:      true,
+			Workers:     *workers,
+			Coordinator: *coord,
 		})
 		if err != nil {
 			log.Fatalf("greenload: %v", err)
 		}
 		fmt.Printf("closed loop: %s\n", res)
+		printShardFailures(res)
 		return
 	}
 
@@ -66,15 +73,38 @@ func main() {
 	}
 	for _, rate := range rates {
 		res, err := loadgen.Run(context.Background(), loadgen.Config{
-			BaseURL:  *baseURL,
-			QPS:      rate,
-			Duration: *duration,
-			Deadline: *deadline,
-			Seed:     *seed,
+			BaseURL:     *baseURL,
+			QPS:         rate,
+			Duration:    *duration,
+			Deadline:    *deadline,
+			Seed:        *seed,
+			Coordinator: *coord,
 		})
 		if err != nil {
 			log.Fatalf("greenload: %v", err)
 		}
 		fmt.Printf("offered %6.1f qps: %s\n", rate, res)
+		printShardFailures(res)
+	}
+}
+
+// printShardFailures renders the degraded-response attribution, most
+// blamed shard first.
+func printShardFailures(res loadgen.Result) {
+	if len(res.ShardFailures) == 0 {
+		return
+	}
+	names := make([]string, 0, len(res.ShardFailures))
+	for name := range res.ShardFailures {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if res.ShardFailures[names[i]] != res.ShardFailures[names[j]] {
+			return res.ShardFailures[names[i]] > res.ShardFailures[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		fmt.Printf("  shard %s: missing from %d degraded response(s)\n", name, res.ShardFailures[name])
 	}
 }

@@ -6,7 +6,19 @@
 //	greenserve -addr :8080 -sla 0.02
 //	greenserve -addr :8080 -state-dir /var/lib/greenserve   # crash-safe state
 //
-// Endpoints: /search?q=..., /stats, /config, /healthz, /readyz.
+// Sharded serving: -role worker serves one corpus partition, -role
+// coordinator scatter/gathers a fleet of workers and runs the
+// fleet-level SLA control plane.
+//
+//	greenserve -role worker -addr :8081 -shard-index 0 -shard-count 3
+//	greenserve -role coordinator -addr :8080 \
+//	    -shards 'http://h1:8081,http://h2:8081;http://h3:8082,http://h4:8082'
+//
+// (-shards separates shards with ';' and a shard's replicas with ','.)
+//
+// Endpoints: /search?q=..., /stats, /config, /healthz, /readyz (workers
+// add /model and /budget; the coordinator serves /search, /stats,
+// /healthz, /readyz).
 //
 // On SIGINT/SIGTERM the server drains in-flight requests via
 // http.Server.Shutdown and, when -state-dir is set, writes a final
@@ -20,13 +32,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"green/internal/chaos"
+	"green/internal/cluster"
 	"green/internal/search"
 	"green/internal/serve"
 )
@@ -51,8 +66,28 @@ func main() {
 		chaosSeed       = flag.Int64("chaos-seed", 1, "fault-injection schedule seed")
 		chaosPanicEvery = flag.Int("chaos-panic-every", 0, "inject a QoS-callback panic every Nth call (0 disables; testing only)")
 		chaosDelayEvery = flag.Int("chaos-delay-every", 0, "inject a QoS-callback latency spike every Nth call (0 disables; testing only)")
+
+		role        = flag.String("role", "", `"" (single server), "worker" (one shard), or "coordinator" (scatter/gather front end)`)
+		shardIndex  = flag.Int("shard-index", 0, "worker: this worker's shard (0-based)")
+		shardCount  = flag.Int("shard-count", 0, "worker: total shards in the fleet")
+		shardList   = flag.String("shards", "", "coordinator: replica URLs, ';' between shards, ',' between a shard's replicas")
+		quorum      = flag.Int("quorum", 0, "coordinator: shards required for a 200 (0 means majority)")
+		retries     = flag.Int("retries", 1, "coordinator: per-shard retry budget (negative disables)")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "coordinator: hedge a second replica request after this delay (0 disables)")
+		aggInterval = flag.Duration("aggregate-interval", 5*time.Second, "coordinator: fleet SLA aggregation period (0 disables the control plane)")
 	)
 	flag.Parse()
+
+	if *role == "coordinator" {
+		runCoordinator(*addr, *shardList, *sla, *quorum, *retries, *hedgeDelay, *aggInterval, *seed, *reqTimeout, *drain)
+		return
+	}
+	if *role != "" && *role != "worker" {
+		log.Fatalf("greenserve: unknown -role %q (want worker or coordinator)", *role)
+	}
+	if *role == "worker" && *shardCount < 1 {
+		log.Fatalf("greenserve: -role worker requires -shard-count")
+	}
 
 	if *saveIndex != "" {
 		log.Printf("building corpus (seed %d)...", *seed)
@@ -89,6 +124,8 @@ func main() {
 		CorpusDocs:         *docs,
 		CalibrationQueries: *calQueries,
 		ApproxAnd:          *approxAnd,
+		ShardIndex:         *shardIndex,
+		ShardCount:         *shardCount,
 		StateDir:           *stateDir,
 		SnapshotInterval:   *snapInterval,
 		MaxInFlight:        *maxInFlight,
@@ -109,15 +146,27 @@ func main() {
 		log.Printf("state: %s (%s)", *stateDir, s.RestoreNote())
 	}
 
+	if *role == "worker" {
+		log.Printf("worker: shard %d of %d (postings for docs ≡ %d mod %d over a %d-doc corpus)",
+			*shardIndex, *shardCount, *shardIndex, *shardCount, s.Engine().Docs())
+	}
+
 	stopSnapshots := s.StartSnapshotLoop()
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Explicit Listen (rather than ListenAndServe) so ":0" resolves and
+	// logs a real port — fleet smoke tests start workers on ephemeral
+	// ports and scrape the address from this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("greenserve: %v", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("listening on %s (try /search?q=hello+world, /stats)\n", *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening on %s (try /search?q=hello+world, /stats)\n", ln.Addr())
 
 	select {
 	case err := <-errCh:
@@ -142,5 +191,91 @@ func main() {
 	}
 	if *stateDir != "" {
 		log.Printf("final snapshot written to %s", *stateDir)
+	}
+}
+
+// parseShards turns "u1,u2;u3,u4" into one ShardSpec per ';' group,
+// with ',' separating a shard's replica URLs.
+func parseShards(list string) ([]cluster.ShardSpec, error) {
+	var specs []cluster.ShardSpec
+	for i, group := range strings.Split(list, ";") {
+		var replicas []string
+		for _, u := range strings.Split(group, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, strings.TrimSuffix(u, "/"))
+			}
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("shard %d has no replica URLs", i)
+		}
+		specs = append(specs, cluster.ShardSpec{
+			Name:     fmt.Sprintf("shard%d", i),
+			Replicas: replicas,
+		})
+	}
+	return specs, nil
+}
+
+// runCoordinator serves the scatter/gather front end over an existing
+// worker fleet and, unless disabled, runs the fleet-level SLA
+// aggregation loop against it.
+func runCoordinator(addr, shardList string, sla float64, quorum, retries int, hedgeDelay, aggInterval time.Duration, seed int64, reqTimeout, drain time.Duration) {
+	if shardList == "" {
+		log.Fatalf("greenserve: -role coordinator requires -shards")
+	}
+	specs, err := parseShards(shardList)
+	if err != nil {
+		log.Fatalf("greenserve: -shards: %v", err)
+	}
+	co, err := cluster.New(cluster.Config{
+		Shards:            specs,
+		SLA:               sla,
+		Quorum:            quorum,
+		Retries:           retries,
+		HedgeDelay:        hedgeDelay,
+		AggregateInterval: aggInterval,
+		RequestTimeout:    reqTimeout,
+		Seed:              seed,
+	})
+	if err != nil {
+		log.Fatalf("greenserve: %v", err)
+	}
+	for _, spec := range specs {
+		log.Printf("coordinator: %s -> %s", spec.Name, strings.Join(spec.Replicas, " "))
+	}
+	var stopAgg func()
+	if aggInterval > 0 {
+		stopAgg = co.Start()
+		log.Printf("coordinator: fleet SLA %.2f%% aggregated every %v", sla*100, aggInterval)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("greenserve: %v", err)
+	}
+	srv := &http.Server{Handler: co.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("listening on %s (coordinating %d shard(s))\n", ln.Addr(), len(specs))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("greenserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %v)...", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("greenserve: drain incomplete: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("greenserve: %v", err)
+	}
+	if stopAgg != nil {
+		stopAgg()
 	}
 }

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPFault is one host's fault schedule: every Nth request to the host
+// draws the corresponding fault (0 disables that fault kind). Kinds are
+// checked in order drop, delay, code, garbage; each keeps its own
+// per-host ordinal, so schedules compose the way Injector sites do.
+type HTTPFault struct {
+	// DropEvery fails the request with a transport error before it is
+	// sent — the HTTP-level analogue of a killed process or a cut cable.
+	DropEvery int
+	// DelayEvery sleeps Delay (default 5ms) before forwarding — a
+	// replica slowed past its deadline budget.
+	DelayEvery int
+	Delay      time.Duration
+	// CodeEvery answers with Code (default 500) without reaching the
+	// host — an application-level failure.
+	CodeEvery int
+	Code      int
+	// GarbageEvery forwards the request but mangles the response body —
+	// alternating truncation and byte-garbling per ordinal, the torn and
+	// corrupted replies a coordinator's parser must reject.
+	GarbageEvery int
+}
+
+// HTTPFaults is an http.RoundTripper that injects per-host faults in
+// front of a base transport, with the package's determinism contract:
+// the schedule is a pure function of (seed, host, fault kind, per-kind
+// call ordinal). SetEnabled(false) turns all faults off (for recovery
+// phases) without losing the ordinals.
+type HTTPFaults struct {
+	seed    int64
+	base    http.RoundTripper
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	rules map[string]*HTTPFault
+	sites map[string]*site
+
+	drops, delays, codes, garbled atomic.Int64
+}
+
+// NewHTTPFaults wraps base (nil means http.DefaultTransport) with an
+// enabled, initially rule-less injector.
+func NewHTTPFaults(seed int64, base http.RoundTripper) *HTTPFaults {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := &HTTPFaults{seed: seed, base: base,
+		rules: make(map[string]*HTTPFault), sites: make(map[string]*site)}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetRule installs (or replaces) the fault schedule for one host
+// ("host:port" as it appears in request URLs).
+func (f *HTTPFaults) SetRule(host string, rule HTTPFault) {
+	if rule.Delay <= 0 {
+		rule.Delay = 5 * time.Millisecond
+	}
+	if rule.Code == 0 {
+		rule.Code = http.StatusInternalServerError
+	}
+	f.mu.Lock()
+	f.rules[host] = &rule
+	f.mu.Unlock()
+}
+
+// SetEnabled toggles all fault injection; ordinals keep advancing while
+// disabled so re-enabling resumes the schedule, not the history.
+func (f *HTTPFaults) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// Counts reports how many of each fault kind have fired.
+func (f *HTTPFaults) Counts() (drops, delays, codes, garbled int64) {
+	return f.drops.Load(), f.delays.Load(), f.codes.Load(), f.garbled.Load()
+}
+
+// siteOrdinal advances and phases the per-(host, kind) ordinal exactly
+// like Injector.siteFor does for callback sites.
+func (f *HTTPFaults) siteOrdinal(host, kind string, every int) (n int64, fire bool) {
+	f.mu.Lock()
+	key := host + "#" + kind
+	s, ok := f.sites[key]
+	if !ok {
+		s = &site{phase: phaseFor(f.seed, key, every)}
+		f.sites[key] = s
+	}
+	f.mu.Unlock()
+	n = s.calls.Add(1)
+	return n, (n+s.phase)%int64(every) == 0
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *HTTPFaults) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	rule := f.rules[req.URL.Host]
+	f.mu.Unlock()
+	if rule == nil || !f.enabled.Load() {
+		return f.base.RoundTrip(req)
+	}
+	if rule.DropEvery > 0 {
+		if n, fire := f.siteOrdinal(req.URL.Host, "drop", rule.DropEvery); fire {
+			f.drops.Add(1)
+			return nil, fmt.Errorf("chaos: injected connection drop to %s (call %d)", req.URL.Host, n)
+		}
+	}
+	if rule.DelayEvery > 0 {
+		if _, fire := f.siteOrdinal(req.URL.Host, "delay", rule.DelayEvery); fire {
+			f.delays.Add(1)
+			// Honor the request context so a deadline-bounded caller sees
+			// a timeout, not a stuck transport.
+			t := time.NewTimer(rule.Delay)
+			select {
+			case <-req.Context().Done():
+				t.Stop()
+				return nil, req.Context().Err()
+			case <-t.C:
+			}
+		}
+	}
+	if rule.CodeEvery > 0 {
+		if _, fire := f.siteOrdinal(req.URL.Host, "code", rule.CodeEvery); fire {
+			f.codes.Add(1)
+			body := fmt.Sprintf("chaos: injected %d", rule.Code)
+			return &http.Response{
+				StatusCode: rule.Code,
+				Status:     fmt.Sprintf("%d chaos", rule.Code),
+				Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+				Header:  http.Header{"Content-Type": {"text/plain"}},
+				Body:    io.NopCloser(strings.NewReader(body)),
+				Request: req, ContentLength: int64(len(body)),
+			}, nil
+		}
+	}
+	resp, err := f.base.RoundTrip(req)
+	if err != nil || rule.GarbageEvery == 0 {
+		return resp, err
+	}
+	n, fire := f.siteOrdinal(req.URL.Host, "garbage", rule.GarbageEvery)
+	if !fire {
+		return resp, nil
+	}
+	f.garbled.Add(1)
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if n%2 == 0 && len(data) > 1 {
+		data = data[:len(data)/2] // truncated mid-object
+	} else {
+		for i := range data { // garbled: every byte xored, still bytes
+			data[i] ^= 0x5a
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// phaseFor derives a site's deterministic phase offset from the seed
+// and site key, mirroring Injector.siteFor.
+func phaseFor(seed int64, key string, every int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, key)
+	if every < 1 {
+		every = 1
+	}
+	return int64(h.Sum64() % uint64(every))
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"green/internal/core"
+)
+
+// errAllBreakersOpen means every replica of a shard currently has its
+// circuit breaker refusing traffic. The denied consults still advance
+// the breakers' cool-down clocks, so a shard in this state heals under
+// continued request pressure.
+var errAllBreakersOpen = errors.New("cluster: all replica breakers open")
+
+// replica is one worker process serving a shard.
+type replica struct {
+	base string
+	brk  *core.Breaker
+	// consults is the breaker's logical clock: every routing decision
+	// that considers this replica advances it, so an open breaker's
+	// cool-down elapses in routing decisions, not wall time — a shard
+	// under heavy traffic re-probes sooner than an idle one, matching
+	// the execution-count cool-downs of the in-process breakers.
+	consults atomic.Int64
+	attempts atomic.Int64
+	failures atomic.Int64
+}
+
+// shardClient routes requests for one shard across its replicas.
+type shardClient struct {
+	name      string
+	cfg       *Config // defaults applied; owned by the Coordinator
+	transport Transport
+	replicas  []*replica
+	rr        atomic.Uint32 // round-robin cursor for first-choice picks
+	rng       *lockedRand
+
+	okReqs   atomic.Int64
+	failReqs atomic.Int64
+	hedges   atomic.Int64
+}
+
+func newShardClient(spec ShardSpec, cfg *Config, rng *lockedRand) *shardClient {
+	c := &shardClient{name: spec.Name, cfg: cfg, transport: cfg.Transport, rng: rng}
+	for _, base := range spec.Replicas {
+		c.replicas = append(c.replicas, &replica{
+			base: base,
+			brk:  core.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	return c
+}
+
+// pick selects a replica whose breaker admits traffic, preferring one
+// other than avoid (the replica a previous attempt just failed on).
+// When every alternative's breaker refuses, avoid itself is consulted
+// as a last resort — a degraded replica beats no replica.
+func (c *shardClient) pick(avoid *replica) (rep *replica, probe bool, n int64) {
+	k := len(c.replicas)
+	start := int(c.rr.Add(1)) - 1
+	for off := 0; off < k; off++ {
+		r := c.replicas[(start+off)%k]
+		if r == avoid && k > 1 {
+			continue
+		}
+		n := r.consults.Add(1)
+		if allow, probe := r.brk.Allow(n); allow {
+			return r, probe, n
+		}
+	}
+	if avoid != nil && k > 1 {
+		n := avoid.consults.Add(1)
+		if allow, probe := avoid.brk.Allow(n); allow {
+			return avoid, probe, n
+		}
+	}
+	return nil, false, 0
+}
+
+// call performs one logical request with bounded retries: up to
+// Retries+1 attempts, each against a breaker-admitted replica
+// (preferring an alternate after a failure), each given an equal split
+// of the remaining deadline budget, with jittered exponential backoff
+// between attempts. parse validates the body — a reply that does not
+// parse is a replica failure exactly like a connection error or a
+// non-200, and charges the replica's breaker.
+func (c *shardClient) call(ctx context.Context, method, path string, reqBody []byte, deadline time.Time, buf *[]byte, parse func(body []byte) error) error {
+	attempts := c.cfg.Retries + 1
+	var last *replica
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
+			break
+		}
+		rep, probe, n := c.pick(last)
+		if rep == nil {
+			if lastErr == nil {
+				lastErr = errAllBreakersOpen
+			}
+			break
+		}
+		last = rep
+		rep.attempts.Add(1)
+		// Deadline budgeting: split what remains of the request budget
+		// evenly over the attempts still available, so a slow first
+		// replica cannot starve the retry of its chance.
+		attemptDeadline := time.Now().Add(remaining / time.Duration(attempts-a))
+		status, body, err := c.transport.Do(ctx, method, rep.base, path, reqBody, attemptDeadline, (*buf)[:0])
+		*buf = body[:0]
+		if err == nil && status != http.StatusOK {
+			err = fmt.Errorf("cluster: %s%s: status %d", rep.base, path, status)
+		}
+		if err == nil {
+			err = parse(body)
+		}
+		if err == nil {
+			rep.brk.OnSuccess(probe)
+			return nil
+		}
+		rep.failures.Add(1)
+		rep.brk.OnFailure(n, probe)
+		lastErr = err
+		if a+1 < attempts {
+			c.sleepBackoff(ctx, a, deadline)
+		}
+	}
+	return lastErr
+}
+
+// sleepBackoff waits the jittered exponential backoff for the given
+// completed attempt: full jitter over [base·2^a/2, base·2^a), truncated
+// to the remaining deadline.
+func (c *shardClient) sleepBackoff(ctx context.Context, attempt int, deadline time.Time) {
+	d := c.cfg.RetryBackoff << attempt
+	if d <= 0 {
+		return
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	if rem := time.Until(deadline); d > rem {
+		d = rem
+	}
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// search fetches this shard's partial page into out. With HedgeDelay
+// off it is the synchronous retry loop above (reusing out's buffer, so
+// the warm scatter path stays off the allocator); with hedging on it
+// races a late second request against the first.
+func (c *shardClient) search(ctx context.Context, path string, deadline time.Time, out *shardReply) error {
+	if c.cfg.HedgeDelay > 0 {
+		return c.searchHedged(ctx, path, deadline, out)
+	}
+	return c.call(ctx, http.MethodGet, path, nil, deadline, &out.buf, func(body []byte) error {
+		return parseSearchReply(body, out)
+	})
+}
+
+// hedgeResult is one raced attempt's outcome.
+type hedgeResult struct {
+	rep    *replica
+	probe  bool
+	n      int64
+	status int
+	body   []byte
+	err    error
+}
+
+var hedgeBufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// searchHedged races attempts: one launches immediately, a hedge
+// launches on a different replica if no answer arrives within
+// HedgeDelay, and failed attempts relaunch up to the retry budget
+// (immediately, on an alternate replica — the backoff of the
+// synchronous path would defeat the point of hedging). First valid
+// reply wins; every attempt's outcome still reaches its replica's
+// breaker. The results channel is buffered for the maximum number of
+// launches, so abandoned attempts never leak a goroutine.
+func (c *shardClient) searchHedged(ctx context.Context, path string, deadline time.Time, out *shardReply) error {
+	maxLaunches := c.cfg.Retries + 2 // initial + relaunches + the hedge
+	results := make(chan hedgeResult, maxLaunches)
+	outstanding := 0
+	var last *replica
+	launch := func() bool {
+		rep, probe, n := c.pick(last)
+		if rep == nil {
+			return false
+		}
+		last = rep
+		rep.attempts.Add(1)
+		outstanding++
+		go func() {
+			buf, _ := hedgeBufPool.Get().([]byte)
+			status, body, err := c.transport.Do(ctx, http.MethodGet, rep.base, path, nil, deadline, buf[:0])
+			results <- hedgeResult{rep: rep, probe: probe, n: n, status: status, body: body, err: err}
+		}()
+		return true
+	}
+	if !launch() {
+		return errAllBreakersOpen
+	}
+	relaunches := c.cfg.Retries
+	hedged := false
+	hedgeT := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedgeT.Stop()
+	deadlineT := time.NewTimer(time.Until(deadline))
+	defer deadlineT.Stop()
+	var lastErr error
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			err := r.err
+			if err == nil && r.status != http.StatusOK {
+				err = fmt.Errorf("cluster: %s%s: status %d", r.rep.base, path, r.status)
+			}
+			if err == nil {
+				err = parseSearchReply(r.body, out)
+			}
+			hedgeBufPool.Put(r.body[:0]) //nolint:staticcheck // slice header boxing is fine off the warm path
+			if err == nil {
+				r.rep.brk.OnSuccess(r.probe)
+				return nil
+			}
+			r.rep.failures.Add(1)
+			r.rep.brk.OnFailure(r.n, r.probe)
+			lastErr = err
+			if relaunches > 0 && time.Until(deadline) > 0 {
+				relaunches--
+				if launch() {
+					continue
+				}
+			}
+			if outstanding == 0 {
+				return lastErr
+			}
+		case <-hedgeT.C:
+			if !hedged {
+				hedged = true
+				if launch() {
+					c.hedges.Add(1)
+				}
+			}
+		case <-deadlineT.C:
+			if lastErr == nil {
+				lastErr = context.DeadlineExceeded
+			}
+			return lastErr
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// getJSON fetches and decodes a control-plane endpoint (cold path:
+// encoding/json is fine here) with the same retry/breaker routing as
+// the data path.
+func (c *shardClient) getJSON(ctx context.Context, path string, timeout time.Duration, v any) error {
+	var buf []byte
+	return c.call(ctx, http.MethodGet, path, nil, time.Now().Add(timeout), &buf, func(body []byte) error {
+		return json.Unmarshal(body, v)
+	})
+}
+
+// pushBudget POSTs a budget to every replica of the shard (each replica
+// runs its own controller, so all of them need the level). Failures are
+// tolerated — the next aggregation round retries — and the worker
+// handler is idempotent, so duplicate pushes are safe.
+func (c *shardClient) pushBudget(ctx context.Context, body []byte, timeout time.Duration) (ok int) {
+	for _, rep := range c.replicas {
+		status, _, err := c.transport.Do(ctx, http.MethodPost, rep.base, "/budget", body, time.Now().Add(timeout), nil)
+		if err == nil && status == http.StatusOK {
+			ok++
+		}
+	}
+	return ok
+}
+
+// healthy reports whether at least one replica's breaker is closed.
+func (c *shardClient) healthy() bool {
+	for _, r := range c.replicas {
+		if r.brk.Stats().State == core.BreakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedRand is a mutex-guarded seeded source for backoff jitter,
+// shared across shard clients so the whole coordinator derives from one
+// seed.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	v := l.r.Int63n(n)
+	l.mu.Unlock()
+	return v
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// budgetRecorder captures the levels a fake worker receives on /budget.
+type budgetRecorder struct {
+	mu     sync.Mutex
+	levels []float64
+	ctrl   []string
+}
+
+func (b *budgetRecorder) record(ctrl string, level float64) {
+	b.mu.Lock()
+	b.levels = append(b.levels, level)
+	b.ctrl = append(b.ctrl, ctrl)
+	b.mu.Unlock()
+}
+
+func (b *budgetRecorder) last() (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.levels) == 0 {
+		return 0, false
+	}
+	return b.levels[len(b.levels)-1], true
+}
+
+// controlWorker fakes the worker control-plane surface: /stats with a
+// crafted monitored loss, /model with a fixed two-level calibration,
+// and /budget recording what the coordinator pushes.
+func controlWorker(loss float64, monitored int64, currentM float64, rec *budgetRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"mean_monitored_loss":%g,"monitored":%d,"current_m":%g}`, loss, monitored, currentM)
+	})
+	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"controllers":[{"name":"serve.match","base_level":20000,"levels":[`+
+			`{"level":100,"pred_loss":0.03,"speedup":4},`+
+			`{"level":1000,"pred_loss":0.005,"speedup":2}]}]}`)
+	})
+	mux.HandleFunc("POST /budget", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Controller string  `json:"controller"`
+			Level      float64 `json:"level"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec.record(req.Controller, req.Level)
+		fmt.Fprintf(w, `{"controller":%q,"level":%g,"applied":true}`, req.Controller, req.Level)
+	})
+	return mux
+}
+
+// TestAggregateOnceDecomposesSLA is the control-plane core: the
+// coordinator pulls per-shard monitored loss, corrects each shard's
+// model by observed-vs-predicted, runs the §3.4 combination search on
+// the fleet SLA, and pushes the winning per-shard levels to the
+// workers.
+//
+// The crafted fleet: every shard's model offers M=100 (pred loss 0.03,
+// speedup 4) and M=1000 (pred loss 0.005, speedup 2) below the precise
+// base of 20000. Shard s0 reports observed loss 0.019 at M=1000 — 3.8x
+// its prediction — so its corrected candidates are {0.114, 0.019, 0};
+// s1 and s2 observe exactly their prediction. Under SLA 0.02 the
+// additive search must therefore send s0 precise (its corrected loss
+// would eat the whole budget) and keep s1/s2 at M=1000:
+// 0 + 0.005 + 0.005 = 0.01 with estimated speedup 1/((1 + 1/2 + 1/2)/3)
+// = 1.5x — strictly better than s0@0.019 + two precise (1.2x).
+func TestAggregateOnceDecomposesSLA(t *testing.T) {
+	recs := []*budgetRecorder{{}, {}, {}}
+	co, _ := clusterOf(t, Config{Quorum: 2, SLA: 0.02}, [][]http.Handler{
+		{controlWorker(0.019, 500, 1000, recs[0])},
+		{controlWorker(0.005, 500, 1000, recs[1])},
+		{controlWorker(0.005, 500, 1000, recs[2])},
+	})
+	rep, err := co.AggregateOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShardsPolled != 3 {
+		t.Fatalf("polled %d shards, want 3", rep.ShardsPolled)
+	}
+	wantFleet := (0.019*500 + 0.005*500 + 0.005*500) / 1500
+	if math.Abs(rep.FleetLoss-wantFleet) > 1e-12 {
+		t.Errorf("fleet loss = %g, want %g", rep.FleetLoss, wantFleet)
+	}
+	want := map[string]float64{"s0": 20000, "s1": 1000, "s2": 1000}
+	if len(rep.Budgets) != len(want) {
+		t.Fatalf("budgets = %v, want %v", rep.Budgets, want)
+	}
+	for name, lvl := range want {
+		if rep.Budgets[name] != lvl {
+			t.Errorf("budget[%s] = %g, want %g", name, rep.Budgets[name], lvl)
+		}
+	}
+	if rep.Pushes != 3 {
+		t.Errorf("pushes = %d, want 3", rep.Pushes)
+	}
+	if math.Abs(rep.EstLoss-0.01) > 1e-12 || math.Abs(rep.EstSpeedup-1.5) > 1e-9 {
+		t.Errorf("estimate = (%g, %g), want (0.01, 1.5)", rep.EstLoss, rep.EstSpeedup)
+	}
+	for i, rec := range recs {
+		got, ok := rec.last()
+		if !ok {
+			t.Fatalf("shard %d received no budget", i)
+		}
+		if wantLvl := want[fmt.Sprintf("s%d", i)]; got != wantLvl {
+			t.Errorf("shard %d received %g, want %g", i, got, wantLvl)
+		}
+		if rec.ctrl[0] != "serve.match" {
+			t.Errorf("shard %d budget targeted controller %q", i, rec.ctrl[0])
+		}
+	}
+	if got := co.Ops().Snapshot().BudgetPushes; got != 3 {
+		t.Errorf("ops.budget_pushes = %d, want 3", got)
+	}
+
+	// Idempotence: a second round reaches the same decomposition and the
+	// repush is harmless (the worker handler is level-idempotent).
+	rep2, err := co.AggregateOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, lvl := range want {
+		if rep2.Budgets[name] != lvl {
+			t.Errorf("round 2 budget[%s] = %g, want %g", name, rep2.Budgets[name], lvl)
+		}
+	}
+	if co.aggregations.Load() != 2 {
+		t.Errorf("aggregations = %d, want 2", co.aggregations.Load())
+	}
+}
+
+// TestAggregateOncePartialFleet: an unreachable shard neither stalls
+// the round nor gets a stale budget pushed; with no model for it, the
+// decomposition is skipped but the polled losses still aggregate.
+func TestAggregateOncePartialFleet(t *testing.T) {
+	rec := &budgetRecorder{}
+	co, _ := clusterOf(t, Config{Quorum: 1, SLA: 0.02, Retries: -1}, [][]http.Handler{
+		{controlWorker(0.004, 200, 1000, rec)},
+		{failWorker(http.StatusInternalServerError)},
+	})
+	rep, err := co.AggregateOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShardsPolled != 1 {
+		t.Fatalf("polled = %d, want 1", rep.ShardsPolled)
+	}
+	if len(rep.Budgets) != 0 || rep.Pushes != 0 {
+		t.Errorf("partial fleet still pushed budgets: %+v", rep)
+	}
+	if _, ok := rec.last(); ok {
+		t.Error("reachable shard got a budget from an unsearchable round")
+	}
+	if math.Abs(rep.FleetLoss-0.004) > 1e-12 {
+		t.Errorf("fleet loss = %g, want 0.004", rep.FleetLoss)
+	}
+
+	// A fleet with no shard reachable at all is an error.
+	co2, _ := clusterOf(t, Config{Quorum: 1, Retries: -1}, [][]http.Handler{
+		{failWorker(http.StatusInternalServerError)},
+	})
+	if _, err := co2.AggregateOnce(context.Background()); err == nil {
+		t.Error("unreachable fleet aggregated without error")
+	}
+}
+
+// TestPredictAt: the knot interpolation behind the observed/predicted
+// correction.
+func TestPredictAt(t *testing.T) {
+	levels := []float64{100, 1000}
+	losses := []float64{0.03, 0.005}
+	cases := []struct{ at, want float64 }{
+		{50, 0.03},      // below the first knot: clamp
+		{100, 0.03},     // on a knot
+		{1000, 0.005},   // on a knot
+		{550, 0.0175},   // midpoint of the bracket
+		{10500, 0.0025}, // halfway from last knot to base: toward 0
+		{20000, 0},      // at base: precise
+		{30000, 0},      // beyond base
+	}
+	for _, c := range cases {
+		if got := predictAt(levels, losses, 20000, c.at); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("predictAt(%g) = %g, want %g", c.at, got, c.want)
+		}
+	}
+}

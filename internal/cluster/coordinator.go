@@ -1,0 +1,507 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"green/internal/core"
+	"green/internal/metrics"
+	"green/internal/search"
+)
+
+// ShardSpec names one shard and lists its replicas' base URLs.
+type ShardSpec struct {
+	Name     string
+	Replicas []string
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards is the fleet layout: every shard must hold a disjoint
+	// partition of the same corpus (workers started with matching
+	// ShardIndex/ShardCount), and every replica of a shard must hold the
+	// same partition.
+	Shards []ShardSpec
+	// SLA is the application-level QoS SLA the control plane decomposes
+	// into per-shard budgets (default 0.02).
+	SLA float64
+	// TopN is the merged result-page size (default 10).
+	TopN int
+	// Quorum is the minimum number of shards that must answer for a
+	// request to succeed; below it the request is refused with 503 +
+	// Retry-After. Partial coverage at or above quorum serves a degraded
+	// 200. Default: a majority (n/2 + 1).
+	Quorum int
+	// RequestTimeout is the whole-request deadline each shard's retry
+	// budget is carved from (default 2s).
+	RequestTimeout time.Duration
+	// Retries is how many times a failed shard attempt is retried on a
+	// (preferably different) replica (default 1).
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between synchronous retries (default 5ms).
+	RetryBackoff time.Duration
+	// HedgeDelay, when positive, launches a hedged second request on an
+	// alternate replica if a shard has not answered within the delay.
+	// Safe because the worker /search handler is idempotent. Off by
+	// default.
+	HedgeDelay time.Duration
+	// BreakerThreshold / BreakerCooldown tune the per-replica circuit
+	// breakers (zeros take the core defaults: trip after 3 consecutive
+	// failures, cool down over 16 consults).
+	BreakerThreshold int
+	BreakerCooldown  int
+	// AggregateInterval is the control-plane period: each tick pulls
+	// per-shard monitored loss, recomputes the SLA decomposition, and
+	// pushes budgets (default 5s; Start launches the loop).
+	AggregateInterval time.Duration
+	// Controller names the worker controller budgets are pushed to
+	// (default "serve.match").
+	Controller string
+	// Seed determinizes backoff jitter.
+	Seed int64
+	// Transport is the wire seam (default HTTPTransport over
+	// http.DefaultClient).
+	Transport Transport
+}
+
+func (c Config) withDefaults() Config {
+	if c.SLA == 0 {
+		c.SLA = 0.02
+	}
+	if c.TopN == 0 {
+		c.TopN = 10
+	}
+	if c.Quorum == 0 {
+		c.Quorum = len(c.Shards)/2 + 1
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.AggregateInterval == 0 {
+		c.AggregateInterval = 5 * time.Second
+	}
+	if c.Controller == "" {
+		c.Controller = "serve.match"
+	}
+	if c.Transport == nil {
+		c.Transport = &HTTPTransport{}
+	}
+	return c
+}
+
+// Coordinator scatters queries across shard workers and gathers the
+// partials into the unsharded result page, degrading by quorum policy
+// when shards fail. It is also the fleet control plane (see
+// controlplane.go).
+type Coordinator struct {
+	cfg    Config
+	shards []*shardClient
+	rng    *lockedRand
+
+	queries atomic.Int64
+	ops     metrics.OpsCounters
+	scratch sync.Pool
+
+	// Control-plane state (controlplane.go), guarded by mu.
+	mu           sync.Mutex
+	ctl          []shardControl
+	aggregations atomic.Int64
+	lastAggNote  string
+}
+
+// New validates the fleet layout and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	c := cfg.withDefaults()
+	if len(c.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if c.Quorum < 1 || c.Quorum > len(c.Shards) {
+		return nil, fmt.Errorf("cluster: quorum %d out of range [1, %d]", c.Quorum, len(c.Shards))
+	}
+	if c.SLA < 0 || c.SLA >= 1 {
+		return nil, fmt.Errorf("cluster: SLA must be in [0, 1)")
+	}
+	seen := make(map[string]bool)
+	co := &Coordinator{cfg: c, rng: newLockedRand(c.Seed)}
+	for i := range c.Shards {
+		spec := c.Shards[i]
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("shard%d", i)
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if len(spec.Replicas) == 0 {
+			return nil, fmt.Errorf("cluster: shard %q has no replicas", spec.Name)
+		}
+		co.shards = append(co.shards, newShardClient(spec, &co.cfg, co.rng))
+	}
+	co.ctl = make([]shardControl, len(co.shards))
+	co.scratch.New = func() any {
+		n := len(co.shards)
+		return &coordScratch{tasks: make([]scatterTask, n), replies: make([]shardReply, n)}
+	}
+	return co, nil
+}
+
+// coordScratch is the pooled per-request working set of the scatter
+// path: the per-shard task slots and reply buffers, the merge heap, the
+// response struct, and the encode buffer.
+type coordScratch struct {
+	tasks   []scatterTask
+	replies []shardReply
+	wg      sync.WaitGroup
+	merger  search.Merger
+	resp    coordResponse
+	buf     []byte
+	path    []byte
+}
+
+// scatterTask is one shard's slot in a scatter. It is heap-resident in
+// the scratch (the goroutine body needs only the receiver), so fanning
+// out costs one goroutine per shard and nothing else.
+type scatterTask struct {
+	shard    *shardClient
+	rep      *shardReply
+	ctx      context.Context
+	path     string
+	deadline time.Time
+	wg       *sync.WaitGroup
+	err      error
+}
+
+func (t *scatterTask) run() {
+	t.err = t.shard.search(t.ctx, t.path, t.deadline, t.rep)
+	t.wg.Done()
+}
+
+// coordResponse is the coordinator /search JSON shape. Degraded is
+// always emitted (clients branch on it); FailedShards attributes
+// partial coverage.
+type coordResponse struct {
+	Query        string   `json:"query"`
+	Docs         []int    `json:"docs"`
+	DocsScored   int      `json:"docs_scored"`
+	Degraded     bool     `json:"degraded"`
+	ShardsOK     int      `json:"shards_ok"`
+	ShardsTotal  int      `json:"shards_total"`
+	FailedShards []string `json:"failed_shards,omitempty"`
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", co.handleReadyz)
+	mux.HandleFunc("GET /search", co.handleSearch)
+	mux.HandleFunc("GET /stats", co.handleStats)
+	return mux
+}
+
+// handleSearch scatters the query to every shard, merges the partial
+// pages on exact scores, and applies the quorum policy to whatever
+// subset answered.
+func (co *Coordinator) handleSearch(w http.ResponseWriter, r *http.Request) {
+	rawQ, ok := rawParam(r.URL.RawQuery, "q")
+	if !ok || rawQ == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	echo, err := url.QueryUnescape(rawQ)
+	if err != nil || strings.TrimSpace(echo) == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	co.queries.Add(1)
+	sc := co.scratch.Get().(*coordScratch)
+	defer func() {
+		sc.resp.Query = ""
+		co.scratch.Put(sc)
+	}()
+
+	// The workers see the same raw (still-escaped) q value the client
+	// sent, plus scores=1 so the merge ranks on exact scores.
+	sc.path = append(sc.path[:0], "/search?q="...)
+	sc.path = append(sc.path, rawQ...)
+	sc.path = append(sc.path, "&scores=1"...)
+	path := string(sc.path)
+	deadline := time.Now().Add(co.cfg.RequestTimeout)
+	ctx := r.Context()
+
+	n := len(co.shards)
+	sc.wg.Add(n)
+	for i := 0; i < n; i++ {
+		t := &sc.tasks[i]
+		t.shard, t.rep = co.shards[i], &sc.replies[i]
+		t.ctx, t.path, t.deadline, t.wg = ctx, path, deadline, &sc.wg
+		go t.run()
+	}
+	sc.wg.Wait()
+
+	okCount, docsScored := 0, 0
+	anyDegraded := false
+	failed := sc.resp.FailedShards[:0]
+	sc.merger.Reset(co.cfg.TopN)
+	for i := 0; i < n; i++ {
+		if sc.tasks[i].err != nil {
+			co.shards[i].failReqs.Add(1)
+			failed = append(failed, co.shards[i].name)
+			continue
+		}
+		co.shards[i].okReqs.Add(1)
+		okCount++
+		rep := &sc.replies[i]
+		docsScored += rep.docsScored
+		if rep.degraded {
+			anyDegraded = true
+		}
+		for j, d := range rep.docs {
+			sc.merger.Push(d, rep.scores[j])
+		}
+	}
+
+	if okCount < co.cfg.Quorum {
+		co.ops.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("cluster: %d/%d shards answered, quorum is %d",
+			okCount, n, co.cfg.Quorum), http.StatusServiceUnavailable)
+		return
+	}
+	degraded := okCount < n || anyDegraded
+	if degraded {
+		co.ops.Degraded.Add(1)
+	}
+	sc.resp.Query = echo
+	sc.resp.Docs = sc.merger.TopNInto(sc.resp.Docs[:0])
+	sc.resp.DocsScored = docsScored
+	sc.resp.Degraded = degraded
+	sc.resp.ShardsOK, sc.resp.ShardsTotal = okCount, n
+	sc.resp.FailedShards = failed
+	sc.buf = appendCoordJSON(sc.buf[:0], &sc.resp)
+	h := w.Header()
+	if len(h["Content-Type"]) == 0 {
+		h["Content-Type"] = jsonContentType
+	}
+	_, _ = w.Write(sc.buf)
+}
+
+var jsonContentType = []string{"application/json"}
+
+// appendCoordJSON is the hand-rolled encoder for coordResponse,
+// byte-identical to encoding/json plus the Encoder's trailing newline
+// (equivalence-tested), keeping the gather path off the allocator.
+func appendCoordJSON(b []byte, r *coordResponse) []byte {
+	b = append(b, `{"query":`...)
+	b = appendJSONString(b, r.Query)
+	b = append(b, `,"docs":`...)
+	if r.Docs == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, d := range r.Docs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendInt(b, int64(d))
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"docs_scored":`...)
+	b = appendInt(b, int64(r.DocsScored))
+	b = append(b, `,"degraded":`...)
+	b = appendBool(b, r.Degraded)
+	b = append(b, `,"shards_ok":`...)
+	b = appendInt(b, int64(r.ShardsOK))
+	b = append(b, `,"shards_total":`...)
+	b = appendInt(b, int64(r.ShardsTotal))
+	if len(r.FailedShards) > 0 {
+		b = append(b, `,"failed_shards":[`...)
+		for i, s := range r.FailedShards {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, s)
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}', '\n')
+}
+
+// statsResponse is the coordinator /stats JSON shape: fleet-level
+// aggregates plus one federated row per shard.
+type statsResponse struct {
+	Role           string              `json:"role"`
+	SLA            float64             `json:"sla"`
+	Quorum         int                 `json:"quorum"`
+	Queries        int64               `json:"queries"`
+	ShardsTotal    int                 `json:"shards_total"`
+	ShardsHealthy  int                 `json:"shards_healthy"`
+	FleetLoss      float64             `json:"fleet_mean_monitored_loss"`
+	FleetMonitored int64               `json:"fleet_monitored"`
+	Aggregations   int64               `json:"aggregations"`
+	LastAgg        string              `json:"last_aggregation,omitempty"`
+	Shards         []shardStatsRow     `json:"shards"`
+	Ops            metrics.OpsSnapshot `json:"ops"`
+}
+
+type shardStatsRow struct {
+	Name          string            `json:"name"`
+	Healthy       bool              `json:"healthy"`
+	OK            int64             `json:"ok"`
+	Failed        int64             `json:"failed"`
+	Hedges        int64             `json:"hedges"`
+	LastLoss      float64           `json:"last_loss"`
+	LastMonitored int64             `json:"last_monitored"`
+	LastLevel     float64           `json:"last_level"`
+	LastBudget    float64           `json:"last_budget,omitempty"`
+	Replicas      []replicaStatsRow `json:"replicas"`
+}
+
+type replicaStatsRow struct {
+	URL      string `json:"url"`
+	Breaker  string `json:"breaker"`
+	Trips    int64  `json:"trips"`
+	Attempts int64  `json:"attempts"`
+	Failures int64  `json:"failures"`
+}
+
+func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	resp := statsResponse{
+		Role:         "coordinator",
+		SLA:          co.cfg.SLA,
+		Quorum:       co.cfg.Quorum,
+		Queries:      co.queries.Load(),
+		ShardsTotal:  len(co.shards),
+		Aggregations: co.aggregations.Load(),
+		LastAgg:      co.lastAggNote,
+		Ops:          co.ops.Snapshot(),
+	}
+	var lossSum float64
+	for i, s := range co.shards {
+		ctl := &co.ctl[i]
+		row := shardStatsRow{
+			Name:          s.name,
+			Healthy:       s.healthy(),
+			OK:            s.okReqs.Load(),
+			Failed:        s.failReqs.Load(),
+			Hedges:        s.hedges.Load(),
+			LastLoss:      ctl.lastLoss,
+			LastMonitored: ctl.lastMonitored,
+			LastLevel:     ctl.lastLevel,
+			LastBudget:    ctl.lastBudget,
+		}
+		if row.Healthy {
+			resp.ShardsHealthy++
+		}
+		lossSum += ctl.lastLoss * float64(ctl.lastMonitored)
+		resp.FleetMonitored += ctl.lastMonitored
+		for _, rep := range s.replicas {
+			b := rep.brk.Stats()
+			row.Replicas = append(row.Replicas, replicaStatsRow{
+				URL:      rep.base,
+				Breaker:  b.State.String(),
+				Trips:    b.Trips,
+				Attempts: rep.attempts.Load(),
+				Failures: rep.failures.Load(),
+			})
+		}
+		resp.Shards = append(resp.Shards, row)
+	}
+	if resp.FleetMonitored > 0 {
+		resp.FleetLoss = lossSum / float64(resp.FleetMonitored)
+	}
+	co.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// readyzResponse mirrors the worker shape.
+type readyzResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// handleReadyz degrades readiness naming the unhealthy shards: any
+// replica with a non-closed breaker is reported, and losing quorum is
+// its own reason.
+func (co *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	healthyShards := 0
+	for _, s := range co.shards {
+		if s.healthy() {
+			healthyShards++
+		}
+		for _, rep := range s.replicas {
+			if st := rep.brk.Stats().State; st != core.BreakerClosed {
+				reasons = append(reasons, s.name+": "+rep.base+": breaker "+st.String())
+			}
+		}
+	}
+	if healthyShards < co.cfg.Quorum {
+		reasons = append(reasons, fmt.Sprintf("below quorum: %d/%d shards healthy, quorum is %d",
+			healthyShards, len(co.shards), co.cfg.Quorum))
+	}
+	resp := readyzResponse{Ready: len(reasons) == 0, Reasons: reasons}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Ops exposes the coordinator's operational counters, for tests.
+func (co *Coordinator) Ops() *metrics.OpsCounters { return &co.ops }
+
+// rawParam extracts one raw (still-escaped) query parameter without
+// url.ParseQuery's per-request map.
+func rawParam(raw, key string) (val string, ok bool) {
+	for len(raw) > 0 {
+		seg := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			if seg == key {
+				return "", true
+			}
+			continue
+		}
+		if seg[:eq] == key {
+			return seg[eq+1:], true
+		}
+	}
+	return "", false
+}

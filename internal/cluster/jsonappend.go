@@ -1,0 +1,46 @@
+package cluster
+
+import "strconv"
+
+// Append-style JSON primitives for the gather path's hand-rolled
+// encoder, matching encoding/json's output exactly (the same contract
+// as internal/serve/jsonfast.go; equivalence-tested against
+// encoding/json in coordinator_test.go).
+
+func appendInt(b []byte, v int64) []byte { return strconv.AppendInt(b, v, 10) }
+
+func appendBool(b []byte, v bool) []byte { return strconv.AppendBool(b, v) }
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal with
+// encoding/json's default escaping: quotes, backslashes, control
+// bytes, and the HTML set (<, >, &); valid non-ASCII passes through.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Hand-rolled parsing of the worker /search response, the mirror image
+// of the worker's hand-rolled encoder (internal/serve/jsonfast.go): the
+// coordinator's warm path parses N shard replies per query, and
+// encoding/json would allocate a decoder state plus the slices per
+// call. The parser appends into the reply's reusable buffers and is
+// deliberately strict about the fields the merge depends on — a
+// truncated or garbled body (the chaos harness produces both) must
+// surface as an error that counts against the replica, never as a
+// silently wrong merge.
+
+// shardReply is one shard's parsed partial result. The slices and the
+// transport buffer are reused across requests by the coordinator
+// scratch.
+type shardReply struct {
+	docs       []int
+	scores     []float64
+	docsScored int
+	degraded   bool
+	buf        []byte // transport body buffer (reused capacity)
+}
+
+var (
+	errTruncated = errors.New("cluster: truncated shard reply")
+	errMalformed = errors.New("cluster: malformed shard reply")
+)
+
+// parseSearchReply parses a worker searchResponse body into out. The
+// docs and scores arrays must be present and parallel (the coordinator
+// always asks for scores=1); anything else is a malformed reply.
+func parseSearchReply(body []byte, out *shardReply) error {
+	out.docs, out.scores = out.docs[:0], out.scores[:0]
+	out.docsScored, out.degraded = 0, false
+	c := jsonCursor{b: body}
+	if err := c.expect('{'); err != nil {
+		return err
+	}
+	sawDocs, sawScores := false, false
+	for first := true; ; first = false {
+		c.skipWS()
+		if c.peek() == '}' {
+			c.i++
+			break
+		}
+		if !first {
+			if err := c.expect(','); err != nil {
+				return err
+			}
+		}
+		key, err := c.parseString()
+		if err != nil {
+			return err
+		}
+		if err := c.expect(':'); err != nil {
+			return err
+		}
+		switch string(key) {
+		case "docs":
+			sawDocs = true
+			err = c.parseIntArray(&out.docs)
+		case "scores":
+			sawScores = true
+			err = c.parseFloatArray(&out.scores)
+		case "docs_scored":
+			var v int64
+			v, err = c.parseInt()
+			out.docsScored = int(v)
+		case "degraded":
+			out.degraded, err = c.parseBool()
+		default:
+			err = c.skipValue()
+		}
+		if err != nil {
+			return err
+		}
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			// consumed at the top of the loop
+		case '}':
+			c.i++
+			goto done
+		default:
+			return errMalformed
+		}
+	}
+done:
+	c.skipWS()
+	if c.i != len(c.b) {
+		return errMalformed // trailing garbage beyond the object
+	}
+	if !sawDocs || !sawScores || len(out.docs) != len(out.scores) {
+		return fmt.Errorf("cluster: shard reply docs/scores mismatch (%d docs, %d scores)", len(out.docs), len(out.scores))
+	}
+	return nil
+}
+
+// jsonCursor is a minimal strict-enough JSON scanner over a byte slice.
+type jsonCursor struct {
+	b []byte
+	i int
+}
+
+func (c *jsonCursor) peek() byte {
+	if c.i >= len(c.b) {
+		return 0
+	}
+	return c.b[c.i]
+}
+
+func (c *jsonCursor) skipWS() {
+	for c.i < len(c.b) {
+		switch c.b[c.i] {
+		case ' ', '\t', '\n', '\r':
+			c.i++
+		default:
+			return
+		}
+	}
+}
+
+func (c *jsonCursor) expect(ch byte) error {
+	c.skipWS()
+	if c.i >= len(c.b) {
+		return errTruncated
+	}
+	if c.b[c.i] != ch {
+		return errMalformed
+	}
+	c.i++
+	return nil
+}
+
+// parseString returns the raw bytes between the quotes, escapes left
+// unprocessed. The keys and values this parser routes on ("docs",
+// "scores", …) never contain escapes; an escaped key simply fails to
+// match any case and its value is skipped.
+func (c *jsonCursor) parseString() ([]byte, error) {
+	if err := c.expect('"'); err != nil {
+		return nil, err
+	}
+	start := c.i
+	for c.i < len(c.b) {
+		switch c.b[c.i] {
+		case '\\':
+			c.i += 2
+		case '"':
+			s := c.b[start:c.i]
+			c.i++
+			return s, nil
+		default:
+			c.i++
+		}
+	}
+	return nil, errTruncated
+}
+
+// numberEnd returns the index one past the numeric token starting at i.
+func (c *jsonCursor) numberEnd() int {
+	j := c.i
+	for j < len(c.b) {
+		switch ch := c.b[j]; {
+		case ch >= '0' && ch <= '9', ch == '-', ch == '+', ch == '.', ch == 'e', ch == 'E':
+			j++
+		default:
+			return j
+		}
+	}
+	return j
+}
+
+func (c *jsonCursor) parseInt() (int64, error) {
+	c.skipWS()
+	j := c.numberEnd()
+	if j == c.i {
+		return 0, errMalformed
+	}
+	v, err := strconv.ParseInt(string(c.b[c.i:j]), 10, 64)
+	if err != nil {
+		return 0, errMalformed
+	}
+	c.i = j
+	return v, nil
+}
+
+func (c *jsonCursor) parseFloat() (float64, error) {
+	c.skipWS()
+	j := c.numberEnd()
+	if j == c.i {
+		return 0, errMalformed
+	}
+	// string(…) here does not escape into ParseFloat, so the conversion
+	// stays on the stack for the short tokens scores encode as.
+	v, err := strconv.ParseFloat(string(c.b[c.i:j]), 64)
+	if err != nil {
+		return 0, errMalformed
+	}
+	c.i = j
+	return v, nil
+}
+
+func (c *jsonCursor) parseBool() (bool, error) {
+	c.skipWS()
+	switch {
+	case c.lit("true"):
+		return true, nil
+	case c.lit("false"):
+		return false, nil
+	}
+	return false, errMalformed
+}
+
+// lit consumes the literal if it is next.
+func (c *jsonCursor) lit(s string) bool {
+	if len(c.b)-c.i >= len(s) && string(c.b[c.i:c.i+len(s)]) == s {
+		c.i += len(s)
+		return true
+	}
+	return false
+}
+
+// parseIntArray parses a JSON array of integers (or null) appending
+// into *out.
+func (c *jsonCursor) parseIntArray(out *[]int) error {
+	c.skipWS()
+	if c.lit("null") {
+		return nil
+	}
+	if err := c.expect('['); err != nil {
+		return err
+	}
+	c.skipWS()
+	if c.peek() == ']' {
+		c.i++
+		return nil
+	}
+	for {
+		v, err := c.parseInt()
+		if err != nil {
+			return err
+		}
+		*out = append(*out, int(v))
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case ']':
+			c.i++
+			return nil
+		default:
+			return errMalformed
+		}
+	}
+}
+
+// parseFloatArray parses a JSON array of numbers (or null) appending
+// into *out.
+func (c *jsonCursor) parseFloatArray(out *[]float64) error {
+	c.skipWS()
+	if c.lit("null") {
+		return nil
+	}
+	if err := c.expect('['); err != nil {
+		return err
+	}
+	c.skipWS()
+	if c.peek() == ']' {
+		c.i++
+		return nil
+	}
+	for {
+		v, err := c.parseFloat()
+		if err != nil {
+			return err
+		}
+		*out = append(*out, v)
+		c.skipWS()
+		switch c.peek() {
+		case ',':
+			c.i++
+		case ']':
+			c.i++
+			return nil
+		default:
+			return errMalformed
+		}
+	}
+}
+
+// skipValue skips one JSON value of any shape.
+func (c *jsonCursor) skipValue() error {
+	c.skipWS()
+	if c.i >= len(c.b) {
+		return errTruncated
+	}
+	switch c.b[c.i] {
+	case '"':
+		_, err := c.parseString()
+		return err
+	case '{', '[':
+		depth := 0
+		for c.i < len(c.b) {
+			switch c.b[c.i] {
+			case '"':
+				if _, err := c.parseString(); err != nil {
+					return err
+				}
+				continue // parseString advanced past the closing quote
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					c.i++
+					return nil
+				}
+			}
+			c.i++
+		}
+		return errTruncated
+	default:
+		if c.lit("true") || c.lit("false") || c.lit("null") {
+			return nil
+		}
+		if j := c.numberEnd(); j > c.i {
+			c.i = j
+			return nil
+		}
+		return errMalformed
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSearchReply(t *testing.T) {
+	var out shardReply
+	body := `{"query":"ocean tree","docs":[3,1,4],"scores":[9.5,8.25,1e-7],` +
+		`"docs_scored":42,"approximated":true,"monitored":false}` + "\n"
+	if err := parseSearchReply([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.docs) != 3 || out.docs[0] != 3 || out.docs[2] != 4 {
+		t.Errorf("docs = %v", out.docs)
+	}
+	if len(out.scores) != 3 || out.scores[0] != 9.5 || out.scores[2] != 1e-7 {
+		t.Errorf("scores = %v", out.scores)
+	}
+	if out.docsScored != 42 || out.degraded {
+		t.Errorf("docsScored = %d, degraded = %v", out.docsScored, out.degraded)
+	}
+
+	// Reuse: a second parse into the same reply must fully reset it.
+	body2 := `{"docs":[9],"scores":[-2.5],"docs_scored":1,"degraded":true}`
+	if err := parseSearchReply([]byte(body2), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.docs) != 1 || out.docs[0] != 9 || out.scores[0] != -2.5 || !out.degraded || out.docsScored != 1 {
+		t.Errorf("reused reply = %+v", out)
+	}
+}
+
+// TestParseSearchReplySkipsUnknown: fields this parser does not route on
+// — including ones with escapes, nested structure, and exotic numbers —
+// are skipped, so worker response evolution does not break the fleet.
+func TestParseSearchReplySkipsUnknown(t *testing.T) {
+	var out shardReply
+	body := `{"query":"quote \" and \\ done","future":{"nested":[1,{"x":"]"}]},` +
+		`"docs":[1],"maybe":null,"ratio":-1.5e-9,"flag":false,"scores":[2],"docs_scored":3}`
+	if err := parseSearchReply([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.docs) != 1 || out.docs[0] != 1 || out.scores[0] != 2 || out.docsScored != 3 {
+		t.Errorf("reply = %+v", out)
+	}
+}
+
+// TestParseSearchReplyNullArrays: "docs":null (the worker's empty-page
+// encoding) parses as an empty partial.
+func TestParseSearchReplyNullArrays(t *testing.T) {
+	var out shardReply
+	if err := parseSearchReply([]byte(`{"docs":null,"scores":null,"docs_scored":0}`), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.docs) != 0 || len(out.scores) != 0 {
+		t.Errorf("reply = %+v", out)
+	}
+}
+
+// TestParseSearchReplyRejectsGarbage: the bodies the chaos harness
+// produces — truncation, bit-garbling, scores missing or mismatched —
+// must all fail parsing, never merge silently.
+func TestParseSearchReplyRejectsGarbage(t *testing.T) {
+	valid := `{"docs":[3,1],"scores":[9.5,8],"docs_scored":4}`
+	cases := map[string]string{
+		"empty":            "",
+		"truncated":        valid[:len(valid)/2],
+		"missing scores":   `{"docs":[3,1],"docs_scored":4}`,
+		"missing docs":     `{"scores":[9.5],"docs_scored":4}`,
+		"length mismatch":  `{"docs":[3,1],"scores":[9.5],"docs_scored":4}`,
+		"not json":         "<html>502 bad gateway</html>",
+		"trailing garbage": valid + "{}",
+		"bad int":          `{"docs":[3,x],"scores":[1,2],"docs_scored":4}`,
+		"bad float":        `{"docs":[3],"scores":[--1],"docs_scored":4}`,
+		"unterminated key": `{"docs`,
+		"garbled":          garble(valid),
+	}
+	for name, body := range cases {
+		var out shardReply
+		if err := parseSearchReply([]byte(body), &out); err == nil {
+			t.Errorf("%s: parse accepted %q", name, body)
+		}
+	}
+}
+
+func garble(s string) string {
+	b := []byte(s)
+	for i := range b {
+		b[i] ^= 0x5a
+	}
+	return string(b)
+}
+
+// TestParseSearchReplyWhitespace: encoding/json-style pretty output
+// still parses (the parser is strict about structure, not layout).
+func TestParseSearchReplyWhitespace(t *testing.T) {
+	var out shardReply
+	body := "{\n  \"docs\": [ 3 , 1 ],\n  \"scores\": [ 9.5, 8 ],\n  \"docs_scored\": 4\n}\n"
+	if err := parseSearchReply([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.docs) != 2 || out.scores[1] != 8 || out.docsScored != 4 {
+		t.Errorf("reply = %+v", out)
+	}
+	if strings.TrimSpace(body) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -203,3 +203,53 @@ func (b *breaker) stats() BreakerStats {
 		Trips:               b.trips.Load(),
 	}
 }
+
+// Breaker is the standalone form of the per-controller circuit breaker,
+// for guarding things that are not QoS callbacks with the same state
+// machine — the cluster shard client wraps one around every worker
+// replica endpoint, so a replica that keeps failing (transport errors,
+// 5xx, malformed bodies) is isolated exactly the way a panicking QoS
+// callback is: trip after Threshold consecutive failures, cool down
+// over Allow consults, half-open with a single probe, escalate the
+// cool-down on failed probes.
+//
+// The caller supplies the consult sequence number n (a per-guarded-
+// resource atomic counter); the cool-down is measured in consults, so
+// an open breaker heals only while traffic keeps asking.
+type Breaker struct {
+	b *breaker
+}
+
+// NewBreaker builds a standalone breaker. threshold zero means 3,
+// negative means "never trip" (failures are still counted); cooldown
+// zero derives the default floor of 16 consults.
+func NewBreaker(threshold, cooldown int) *Breaker {
+	return &Breaker{b: newBreaker(threshold, cooldown, 1)}
+}
+
+// Allow reports whether the guarded resource may be used at consult
+// sequence n, and whether this use is the half-open probe (the caller
+// must report the probe's outcome via OnFailure/OnSuccess with
+// probe=true).
+func (x *Breaker) Allow(n int64) (allow, probe bool) {
+	forcePrecise, probe := x.b.observeBegin(n)
+	return !forcePrecise, probe
+}
+
+// OnFailure records a failed use observed at consult sequence n and
+// reports whether it tripped (or re-opened) the breaker.
+func (x *Breaker) OnFailure(n int64, probe bool) (tripped bool) {
+	return x.b.onPanic(n, probe)
+}
+
+// OnSuccess records a clean use; a successful probe closes the breaker
+// and resets the cool-down escalation.
+func (x *Breaker) OnSuccess(probe bool) {
+	x.b.onSuccess(probe)
+}
+
+// Stats snapshots the breaker. ContainedPanics counts every recorded
+// failure for a standalone breaker.
+func (x *Breaker) Stats() BreakerStats {
+	return x.b.stats()
+}

@@ -8,6 +8,7 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +44,10 @@ type Config struct {
 	Closed bool
 	// Workers is the closed-loop concurrency (default 8).
 	Workers int
+	// Coordinator marks the target as a cluster coordinator: response
+	// bodies are inspected so partial-coverage pages count as Degraded
+	// (still OK) and their failed_shards attribute the cause per shard.
+	Coordinator bool
 }
 
 // Result summarizes a run.
@@ -51,9 +56,18 @@ type Result struct {
 	// response; Failed those with transport or HTTP errors.
 	Sent, Completed, Failed int
 	// Shed counts requests the service deliberately rejected with 503
-	// (its in-flight cap) — degraded-mode load shedding, distinct from a
-	// transport failure: the service answered, it just refused the work.
+	// (its in-flight cap, or a coordinator below quorum) — degraded-mode
+	// load shedding, distinct from a transport failure: the service
+	// answered, it just refused the work.
 	Shed int
+	// Degraded counts completed coordinator responses served from
+	// partial shard coverage (Coordinator mode only). They count in
+	// Completed too — the page arrived, just without every shard.
+	Degraded int
+	// ShardFailures attributes degraded responses to the shards the
+	// coordinator blamed (failed_shards), keyed by shard name
+	// (Coordinator mode only; nil otherwise).
+	ShardFailures map[string]int
 	// WithinDeadline counts completed requests meeting the Deadline.
 	WithinDeadline int
 	// P50, P95, P99 are latency percentiles of completed requests.
@@ -73,8 +87,12 @@ func (r Result) SuccessRate() float64 {
 
 // String renders a one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("sent=%d ok=%d shed=%d fail=%d within-deadline=%.1f%% p50=%v p95=%v p99=%v achieved=%.1f qps",
-		r.Sent, r.Completed, r.Shed, r.Failed, 100*r.SuccessRate(), r.P50, r.P95, r.P99, r.AchievedQPS)
+	s := fmt.Sprintf("sent=%d ok=%d", r.Sent, r.Completed)
+	if r.Degraded > 0 || r.ShardFailures != nil {
+		s += fmt.Sprintf(" degraded=%d", r.Degraded)
+	}
+	return s + fmt.Sprintf(" shed=%d fail=%d within-deadline=%.1f%% p50=%v p95=%v p99=%v achieved=%.1f qps",
+		r.Shed, r.Failed, 100*r.SuccessRate(), r.P50, r.P95, r.P99, r.AchievedQPS)
 }
 
 // queryWords is the synthetic vocabulary the generator draws from.
@@ -153,11 +171,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			outcome := doRequest(ctx, client, cfg.BaseURL, q)
+			rep := doRequest(ctx, client, cfg, q)
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
-			switch outcome {
+			switch rep.outcome {
 			case reqShed:
 				res.Shed++
 				return
@@ -166,6 +184,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				return
 			}
 			res.Completed++
+			res.recordReport(rep)
 			latencies = append(latencies, lat)
 			if lat <= cfg.Deadline {
 				res.WithinDeadline++
@@ -209,13 +228,14 @@ func runClosed(ctx context.Context, cfg Config) (Result, error) {
 				q := queryWords[rng.Intn(len(queryWords))] + "+" +
 					queryWords[rng.Intn(len(queryWords))]
 				t0 := time.Now()
-				outcome := doRequest(ctx, client, cfg.BaseURL, q)
+				rep := doRequest(ctx, client, cfg, q)
 				lat := time.Since(t0)
 				mu.Lock()
 				res.Sent++
-				switch outcome {
+				switch rep.outcome {
 				case reqOK:
 					res.Completed++
+					res.recordReport(rep)
 					latencies = append(latencies, lat)
 					if lat <= cfg.Deadline {
 						res.WithinDeadline++
@@ -247,25 +267,65 @@ const (
 	reqFailed
 )
 
-func doRequest(ctx context.Context, client *http.Client, base, q string) reqOutcome {
-	u := base + "/search?q=" + url.QueryEscape(q)
+// reqReport is one request's classification; FailedShards is populated
+// only for degraded coordinator responses.
+type reqReport struct {
+	outcome      reqOutcome
+	degraded     bool
+	failedShards []string
+}
+
+func doRequest(ctx context.Context, client *http.Client, cfg Config, q string) reqReport {
+	u := cfg.BaseURL + "/search?q=" + url.QueryEscape(q)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return reqFailed
+		return reqReport{outcome: reqFailed}
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return reqFailed
+		return reqReport{outcome: reqFailed}
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return reqOK
 	case http.StatusServiceUnavailable:
-		return reqShed
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return reqReport{outcome: reqShed}
 	default:
-		return reqFailed
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return reqReport{outcome: reqFailed}
+	}
+	if !cfg.Coordinator {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return reqReport{outcome: reqOK}
+	}
+	// Coordinator mode: a 200 may still be a partial page; the body says
+	// which shards were missing.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return reqReport{outcome: reqFailed}
+	}
+	var page struct {
+		Degraded     bool     `json:"degraded"`
+		FailedShards []string `json:"failed_shards"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return reqReport{outcome: reqFailed}
+	}
+	return reqReport{outcome: reqOK, degraded: page.Degraded, failedShards: page.FailedShards}
+}
+
+// recordReport folds one classified request into the result (caller
+// holds the mutex).
+func (r *Result) recordReport(rep reqReport) {
+	if rep.degraded {
+		r.Degraded++
+	}
+	for _, name := range rep.failedShards {
+		if r.ShardFailures == nil {
+			r.ShardFailures = make(map[string]int)
+		}
+		r.ShardFailures[name]++
 	}
 }
 

@@ -2,8 +2,11 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -178,6 +181,74 @@ func TestClosedLoopValidation(t *testing.T) {
 	}
 	if res.Completed == 0 {
 		t.Error("closed loop with zero QPS completed nothing")
+	}
+}
+
+// TestCoordinatorModeClassifiesDegraded: against a coordinator-shaped
+// endpoint, 200s with "degraded":true are counted separately with
+// per-shard attribution, quorum 503s count as shed, and clean 200s stay
+// plain completions.
+func TestCoordinatorModeClassifiesDegraded(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	co := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n++
+		i := n
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case i%5 == 0:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"below quorum"}`, http.StatusServiceUnavailable)
+		case i%2 == 0:
+			fmt.Fprint(w, `{"query":"q","docs":[1,2],"docs_scored":9,"degraded":true,`+
+				`"shards_ok":2,"shards_total":3,"failed_shards":["s1"]}`)
+		default:
+			fmt.Fprint(w, `{"query":"q","docs":[1,2,3],"docs_scored":12,"degraded":false,`+
+				`"shards_ok":3,"shards_total":3}`)
+		}
+	}))
+	defer co.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:     co.URL,
+		QPS:         200,
+		Duration:    300 * time.Millisecond,
+		Deadline:    time.Second,
+		Seed:        1,
+		Coordinator: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("no degraded responses classified")
+	}
+	if res.Shed == 0 {
+		t.Error("quorum 503s not counted as shed")
+	}
+	if res.Completed <= res.Degraded {
+		t.Errorf("no clean completions: completed=%d degraded=%d", res.Completed, res.Degraded)
+	}
+	if got := res.ShardFailures["s1"]; got != res.Degraded {
+		t.Errorf("shard attribution s1=%d, want %d (one per degraded response)", got, res.Degraded)
+	}
+	if !strings.Contains(res.String(), "degraded=") {
+		t.Errorf("summary omits degraded count: %s", res.String())
+	}
+
+	// Without Coordinator mode the same endpoint yields no degraded
+	// classification — bodies are not inspected.
+	plain, err := Run(context.Background(), Config{
+		BaseURL: co.URL, QPS: 100, Duration: 100 * time.Millisecond,
+		Deadline: time.Second, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Degraded != 0 || plain.ShardFailures != nil {
+		t.Errorf("plain mode inspected bodies: %+v", plain)
 	}
 }
 

@@ -17,6 +17,16 @@ type OpsCounters struct {
 	// DeadlinePartial counts requests whose scan was cut short at the
 	// request deadline and served from partial results.
 	DeadlinePartial atomic.Int64
+	// Degraded counts responses served at reduced quality but still 200:
+	// on a worker, deadline-cut partial scans; on a coordinator, pages
+	// merged from fewer shards than the fleet holds (partial coverage at
+	// or above quorum). Sheds and timeouts were already counted; this
+	// closes the observability gap for partial-quality successes.
+	Degraded atomic.Int64
+	// BudgetPushes counts accepted per-shard budget updates (the fleet
+	// control plane's POST /budget on workers, successful pushes on the
+	// coordinator).
+	BudgetPushes atomic.Int64
 	// SnapshotSaves counts successful state snapshots.
 	SnapshotSaves atomic.Int64
 	// SnapshotErrors counts failed snapshot writes.
@@ -37,6 +47,8 @@ type OpsCounters struct {
 type OpsSnapshot struct {
 	Shed             int64 `json:"shed"`
 	DeadlinePartial  int64 `json:"deadline_partial"`
+	Degraded         int64 `json:"degraded"`
+	BudgetPushes     int64 `json:"budget_pushes"`
 	SnapshotSaves    int64 `json:"snapshot_saves"`
 	SnapshotErrors   int64 `json:"snapshot_errors"`
 	RestoreRejected  int64 `json:"restore_rejected"`
@@ -49,6 +61,8 @@ func (c *OpsCounters) Snapshot() OpsSnapshot {
 	return OpsSnapshot{
 		Shed:             c.Shed.Load(),
 		DeadlinePartial:  c.DeadlinePartial.Load(),
+		Degraded:         c.Degraded.Load(),
+		BudgetPushes:     c.BudgetPushes.Load(),
 		SnapshotSaves:    c.SnapshotSaves.Load(),
 		SnapshotErrors:   c.SnapshotErrors.Load(),
 		RestoreRejected:  c.RestoreRejected.Load(),

@@ -10,11 +10,14 @@ func TestOpsSnapshot(t *testing.T) {
 	var c OpsCounters
 	c.Shed.Add(3)
 	c.DeadlinePartial.Add(2)
+	c.Degraded.Add(4)
+	c.BudgetPushes.Add(6)
 	c.SnapshotSaves.Add(5)
 	c.SnapshotErrors.Add(1)
 	c.RestoreRejected.Add(1)
 	s := c.Snapshot()
-	if s.Shed != 3 || s.DeadlinePartial != 2 || s.SnapshotSaves != 5 ||
+	if s.Shed != 3 || s.DeadlinePartial != 2 || s.Degraded != 4 ||
+		s.BudgetPushes != 6 || s.SnapshotSaves != 5 ||
 		s.SnapshotErrors != 1 || s.RestoreRejected != 1 {
 		t.Errorf("snapshot = %+v", s)
 	}
@@ -26,7 +29,8 @@ func TestOpsSnapshot(t *testing.T) {
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded["shed"] != 3 || decoded["restore_rejected"] != 1 {
+	if decoded["shed"] != 3 || decoded["restore_rejected"] != 1 ||
+		decoded["degraded"] != 4 || decoded["budget_pushes"] != 6 {
 		t.Errorf("JSON shape = %s", data)
 	}
 }

@@ -104,6 +104,11 @@ func (s *Scan) TopN() []int { return s.heap.ranked() }
 // nothing.
 func (s *Scan) TopNInto(out []int) []int { return s.heap.rankedInto(out) }
 
+// TopNResultsInto writes the current ranked top-N (doc, score) results
+// into out — the score-bearing form a sharded worker serves so the
+// coordinator's merge ranks on exact scores.
+func (s *Scan) TopNResultsInto(out []Result) []Result { return s.heap.rankedResultsInto(out) }
+
 // Exhausted reports whether all matching documents have been scored.
 func (s *Scan) Exhausted() bool {
 	for i := range s.cursors {

@@ -130,6 +130,10 @@ func (s *ScanAnd) TopN() []int { return s.heap.ranked() }
 // nothing.
 func (s *ScanAnd) TopNInto(out []int) []int { return s.heap.rankedInto(out) }
 
+// TopNResultsInto writes the current ranked top-N (doc, score) results
+// into out, as Scan.TopNResultsInto does for the disjunctive path.
+func (s *ScanAnd) TopNResultsInto(out []Result) []Result { return s.heap.rankedResultsInto(out) }
+
 // Exhausted reports whether the lead posting list has been fully
 // consumed (no further conjunctive match can exist).
 func (s *ScanAnd) Exhausted() bool {

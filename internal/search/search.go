@@ -42,6 +42,16 @@ type Config struct {
 	StopTerms int
 	// Seed makes corpus generation deterministic.
 	Seed int64
+	// ShardIndex/ShardCount partition the corpus across worker replicas:
+	// the engine generates the full corpus deterministically, then keeps
+	// postings only for documents with doc % ShardCount == ShardIndex.
+	// Global doc ids, document statistics (lengths, quality priors), and
+	// collection statistics (avgLen, IDF) are all computed over the full
+	// corpus and preserved, so every shard scores a document exactly as
+	// the unsharded engine would — the union of ShardCount shards'
+	// uncapped results merges doc-for-doc into the unsharded result
+	// (sharding_test.go). ShardCount zero or one means unsharded.
+	ShardIndex, ShardCount int
 }
 
 func (c *Config) withDefaults() Config {
@@ -85,6 +95,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	c := cfg.withDefaults()
 	if c.Docs < 10 || c.VocabSize < 10 || c.AvgDocLen < 1 {
 		return nil, errors.New("search: corpus too small")
+	}
+	if c.ShardCount > 1 && (c.ShardIndex < 0 || c.ShardIndex >= c.ShardCount) {
+		return nil, fmt.Errorf("search: shard index %d out of range [0, %d)", c.ShardIndex, c.ShardCount)
 	}
 	e := &Engine{
 		cfg:      c,
@@ -135,7 +148,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 		df := float64(len(e.postings[t]))
 		e.idf[t] = math.Log(1 + (float64(c.Docs)-df+0.5)/(df+0.5))
 	}
+	// Shard filter, applied only after every corpus-wide statistic is in
+	// place: scoring must be identical across shard layouts, so only the
+	// posting lists shrink.
+	if c.ShardCount > 1 {
+		for t := range e.postings {
+			kept := e.postings[t][:0]
+			for _, p := range e.postings[t] {
+				if int(p.Doc)%c.ShardCount == c.ShardIndex {
+					kept = append(kept, p)
+				}
+			}
+			e.postings[t] = kept
+		}
+	}
 	return e, nil
+}
+
+// Shard reports the engine's corpus partition; count <= 1 means the
+// engine holds the whole corpus.
+func (e *Engine) Shard() (index, count int) {
+	return e.cfg.ShardIndex, e.cfg.ShardCount
 }
 
 // Docs returns the corpus size.
@@ -382,4 +415,53 @@ func (t *topN) rankedInto(out []int) []int {
 		out[i] = int(r.Doc)
 	}
 	return out
+}
+
+// rankedResultsInto writes the full (doc, score) results best-first into
+// out — the form a sharded worker returns so a coordinator can merge
+// partials with the exact scores, not just rank order. Allocation-free
+// once out and the scratch buffer have warmed up.
+func (t *topN) rankedResultsInto(out []Result) []Result {
+	t.scratch = append(t.scratch[:0], t.rs...)
+	for i := 1; i < len(t.scratch); i++ {
+		r := t.scratch[i]
+		j := i - 1
+		for j >= 0 && less(t.scratch[j], r) {
+			t.scratch[j+1] = t.scratch[j]
+			j--
+		}
+		t.scratch[j+1] = r
+	}
+	if cap(out) < len(t.scratch) {
+		out = make([]Result, len(t.scratch))
+	}
+	out = out[:len(t.scratch)]
+	copy(out, t.scratch)
+	return out
+}
+
+// Merger folds ranked (doc, score) partials from shard workers into one
+// top-N page using the same heap and deterministic tie-breaking (higher
+// score wins, ties prefer the lower doc id) as a single engine's scan —
+// so a coordinator over shards that preserve global doc ids produces
+// byte-identical pages to the unsharded engine. A Merger is reusable:
+// Reset, Push every partial result, then TopNInto.
+type Merger struct {
+	heap topN
+}
+
+// Reset prepares the merger for a new merge keeping the best n.
+func (m *Merger) Reset(n int) {
+	m.heap.reset(n)
+}
+
+// Push offers one shard result to the merge.
+func (m *Merger) Push(doc int, score float64) {
+	m.heap.push(Result{Doc: uint32(doc), Score: score})
+}
+
+// TopNInto writes the merged ranked doc ids into out, growing it only
+// if needed.
+func (m *Merger) TopNInto(out []int) []int {
+	return m.heap.rankedInto(out)
 }

@@ -1,6 +1,9 @@
 package serve
 
-import "strconv"
+import (
+	"math"
+	"strconv"
+)
 
 // Hand-rolled JSON encoding for the /search response. encoding/json's
 // Encoder walks the value reflectively and allocates per call; the warm
@@ -28,6 +31,16 @@ func appendSearchJSON(b []byte, r *searchResponse) []byte {
 		}
 		b = append(b, ']')
 	}
+	if len(r.Scores) > 0 { // omitempty: nil and empty both drop the field
+		b = append(b, `,"scores":[`...)
+		for i, s := range r.Scores {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONFloat(b, s)
+		}
+		b = append(b, ']')
+	}
 	b = append(b, `,"docs_scored":`...)
 	b = strconv.AppendInt(b, int64(r.DocsScored), 10)
 	b = append(b, `,"approximated":`...)
@@ -38,6 +51,34 @@ func appendSearchJSON(b []byte, r *searchResponse) []byte {
 		b = append(b, `,"degraded":true`...)
 	}
 	return append(b, '}', '\n')
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// shortest representation in 'f' form, switching to 'e' form outside
+// [1e-6, 1e21), with a negative exponent's leading zero trimmed
+// ("2e-9", not "2e-09"). Equivalence-tested against encoding/json in
+// jsonfast_test.go. NaN and infinities — which encoding/json rejects
+// with an error — never reach a response (scores are finite sums of
+// finite BM25 terms); they encode as null defensively.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Trim the exponent's leading zero: 2e+08 -> 2e+8, matching
+		// encoding/json's cleanup.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 const hexDigits = "0123456789abcdef"

@@ -20,6 +20,10 @@ func TestAppendSearchJSONMatchesEncodingJSON(t *testing.T) {
 		{Query: "tab\tnewline\ncarriage\rbell\x01end", Docs: []int{1}, DocsScored: 2},
 		{Query: "<script>&amp;</script>", Docs: []int{5, 6}, DocsScored: 3, Approximated: true},
 		{Query: "héllo wörld → 日本", Docs: []int{-1, 1 << 30}, DocsScored: 1 << 20},
+		{Query: "scored", Docs: []int{3, 1}, Scores: []float64{12.75, 3.5}, DocsScored: 9},
+		{Query: "scored empty", Docs: []int{1}, Scores: []float64{}, DocsScored: 1},
+		{Query: "scored corners", Docs: []int{1, 2, 3, 4, 5, 6},
+			Scores: []float64{0, -0.25, 1e-7, 2.5e21, 1e21, 123456789.123}, DocsScored: 6, Degraded: true},
 	}
 	for _, r := range cases {
 		want, err := json.Marshal(&r)
@@ -29,6 +33,33 @@ func TestAppendSearchJSONMatchesEncodingJSON(t *testing.T) {
 		got := appendSearchJSON(nil, &r)
 		if string(got) != string(want)+"\n" {
 			t.Errorf("query %q:\n got %s\nwant %s\\n", r.Query, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesEncodingJSON sweeps the float encoder over
+// deterministic pseudo-random values spanning the 'f'/'e' format
+// boundary, pinning it to encoding/json digit for digit.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	vals := []float64{0, -0, 1, -1, 0.1, 1e-6, 9.99e-7, 1e21, 9.99e20, -1e21, 2e-9, -3.25e-8, 1e308, 5e-324}
+	// A deterministic LCG sweep: mantissa/exponent combinations without
+	// pulling math/rand into a non-calibration test path.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 2000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		m := float64(x%(1<<52)) / float64(uint64(1)<<(x%60))
+		if x%2 == 0 {
+			m = -m
+		}
+		vals = append(vals, m)
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(want) {
+			t.Errorf("float %v: got %s, want %s", v, got, want)
 		}
 	}
 }

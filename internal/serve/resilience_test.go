@@ -199,6 +199,77 @@ func TestSnapshotRestoreAcrossRestart(t *testing.T) {
 	}
 }
 
+// TestCorruptedMultiControllerSnapshotBoot: the bundled snapshot holds
+// every registered controller; torn (truncated mid-write) and bit-
+// flipped files must both be rejected atomically at boot — neither
+// controller restores from a damaged bundle — and the service still
+// comes up cold, serving both approximation sites.
+func TestCorruptedMultiControllerSnapshotBoot(t *testing.T) {
+	damage := map[string]func(path string) error{
+		"truncated": func(path string) error { return chaos.TruncateFile(path, 5) },
+		"corrupted": func(path string) error { return chaos.CorruptFile(path, 5) },
+	}
+	for name, breakFile := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			mutate := func(c *Config) {
+				c.StateDir = dir
+				c.ApproxAnd = true
+			}
+			s1 := resilientServer(t, mutate)
+			h1 := s1.Handler()
+			for i := 0; i < 20; i++ {
+				get(t, h1, "/search?q=alpha+beta")
+				get(t, h1, "/search?q=alpha+beta&mode=and")
+			}
+			if err := s1.SaveState(); err != nil {
+				t.Fatal(err)
+			}
+
+			store, err := persist.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := breakFile(store.Path(stateName)); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := resilientServer(t, mutate)
+			if !strings.HasPrefix(s2.RestoreNote(), "rejected:") {
+				t.Fatalf("%s restore = %q, want rejected", name, s2.RestoreNote())
+			}
+			if got := s2.Ops().Snapshot().RestoreRejected; got != 1 {
+				t.Errorf("restore_rejected = %d, want 1", got)
+			}
+			// Atomic rejection: no controller got a partial restore — both
+			// start cold (zero executions), not with s1's counters.
+			for _, c := range s2.Registry().Controllers() {
+				execs, _, _ := c.Stats()
+				if execs != 0 {
+					t.Errorf("controller %q restored %d execs from a damaged bundle", c.Name(), execs)
+				}
+			}
+			// And both sites still serve.
+			h2 := s2.Handler()
+			if rec := get(t, h2, "/search?q=alpha+beta"); rec.Code != http.StatusOK {
+				t.Errorf("disjunctive search after %s restore = %d", name, rec.Code)
+			}
+			if rec := get(t, h2, "/search?q=alpha+beta&mode=and"); rec.Code != http.StatusOK {
+				t.Errorf("conjunctive search after %s restore = %d", name, rec.Code)
+			}
+			// The damaged bundle must not poison the next save: a fresh
+			// snapshot cycle restores cleanly again.
+			if err := s2.SaveState(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := resilientServer(t, mutate)
+			if s3.RestoreNote() != "restored" {
+				t.Errorf("post-repair restore = %q, want restored", s3.RestoreNote())
+			}
+		})
+	}
+}
+
 func TestForeignSnapshotRejected(t *testing.T) {
 	dir := t.TempDir()
 	s1 := resilientServer(t, func(c *Config) { c.StateDir = dir })

@@ -32,7 +32,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"io/fs"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
@@ -88,6 +90,12 @@ type Config struct {
 	// against the precise conjunctive results. Off by default —
 	// conjunctive match sets are usually short enough to serve precisely.
 	ApproxAnd bool
+	// ShardIndex/ShardCount make this server a shard worker: the engine
+	// keeps only its partition of the corpus (global doc ids and scoring
+	// preserved — see search.Config), so a coordinator can scatter a
+	// query across ShardCount workers and merge the partials into the
+	// unsharded page. ShardCount zero or one serves the whole corpus.
+	ShardIndex, ShardCount int
 
 	// MaxInFlight caps concurrently served /search requests; excess
 	// requests are shed with 503 + Retry-After rather than queued
@@ -176,6 +184,12 @@ type Server struct {
 	modelSig      string
 	restoreNote   string // "disabled" | "cold" | "restored" | "rejected: …"
 	restoreReport core.RestoreReport
+
+	// Fleet control-plane surface: the calibrated models back /model
+	// (per-level candidate settings for the coordinator's combination
+	// search) and loops backs /budget (pushed per-shard levels).
+	models map[string]*model.LoopModel
+	loops  map[string]*core.Loop
 }
 
 // New builds the corpus, runs the calibration phase, constructs the
@@ -186,13 +200,18 @@ func New(cfg Config) (*Server, error) {
 	if c.SLA < 0 || c.SLA >= 1 {
 		return nil, errors.New("serve: SLA must be in [0, 1)")
 	}
-	engine, err := search.NewEngine(search.Config{Seed: c.Seed, Docs: c.CorpusDocs})
+	engine, err := search.NewEngine(search.Config{
+		Seed: c.Seed, Docs: c.CorpusDocs,
+		ShardIndex: c.ShardIndex, ShardCount: c.ShardCount,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg: c, engine: engine, reg: core.NewRegistry(), restoreNote: "disabled",
 		qcache: newQueryCache(c.QueryCacheSize),
+		models: make(map[string]*model.LoopModel),
+		loops:  make(map[string]*core.Loop),
 	}
 
 	// Calibration phase.
@@ -214,11 +233,12 @@ func New(cfg Config) (*Server, error) {
 	if err := s.reg.Register(s.loop); err != nil {
 		return nil, err
 	}
+	s.models[snapshotName], s.loops[snapshotName] = m, s.loop
 
 	// The signature binds snapshots to the exact calibration and serving
-	// configuration: a different corpus seed, size, SLA, page size, or
-	// site layout invalidates the persisted levels.
-	sigParts := []any{m, c.SLA, c.Seed, engine.Docs(), c.TopN}
+	// configuration: a different corpus seed, size, SLA, page size,
+	// shard partition, or site layout invalidates the persisted levels.
+	sigParts := []any{m, c.SLA, c.Seed, engine.Docs(), c.TopN, c.ShardIndex, c.ShardCount}
 
 	if c.ApproxAnd {
 		// Conjunctive match streams are much shorter than disjunctive
@@ -237,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 		if err := s.reg.Register(s.and); err != nil {
 			return nil, err
 		}
+		s.models[andLoopName], s.loops[andLoopName] = mAnd, s.and
 		sigParts = append(sigParts, mAnd, "and")
 	}
 
@@ -451,11 +472,16 @@ func (s *Server) termsOf(q string) []int {
 
 // searchResponse is the /search JSON shape.
 type searchResponse struct {
-	Query         string `json:"query"`
-	Docs          []int  `json:"docs"`
-	DocsScored    int    `json:"docs_scored"`
-	Approximated  bool   `json:"approximated"`
-	MonitoredScan bool   `json:"monitored"`
+	Query string `json:"query"`
+	Docs  []int  `json:"docs"`
+	// Scores carries the exact per-doc scores of Docs, emitted only when
+	// the request asks (scores=1): a coordinator merging shard partials
+	// ranks on exact scores so the merged page is byte-identical to the
+	// unsharded engine's.
+	Scores        []float64 `json:"scores,omitempty"`
+	DocsScored    int       `json:"docs_scored"`
+	Approximated  bool      `json:"approximated"`
+	MonitoredScan bool      `json:"monitored"`
 	// Degraded marks a response whose scan was cut short at the request
 	// deadline: the results are the best scored so far, not the
 	// controller's chosen approximation level.
@@ -520,7 +546,87 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /search", s.withResilience(s.handleSearch))
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /config", s.handleConfig)
+	mux.HandleFunc("GET /model", s.handleModel)
+	mux.HandleFunc("POST /budget", s.handleBudget)
 	return mux
+}
+
+// modelResponse is the /model JSON shape: per-controller candidate
+// settings derived from the calibrated model, the raw material for the
+// coordinator's CombineSearchOpt decomposition of the fleet SLA into
+// per-shard budgets.
+type modelResponse struct {
+	Controllers []modelControllerRow `json:"controllers"`
+}
+
+type modelControllerRow struct {
+	Name      string       `json:"name"`
+	BaseLevel float64      `json:"base_level"`
+	Levels    []modelLevel `json:"levels"`
+}
+
+type modelLevel struct {
+	Level    float64 `json:"level"`
+	PredLoss float64 `json:"pred_loss"`
+	Speedup  float64 `json:"speedup"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	resp := modelResponse{}
+	for _, name := range s.reg.Names() {
+		m := s.models[name]
+		if m == nil {
+			continue
+		}
+		row := modelControllerRow{Name: name, BaseLevel: float64(s.engine.Docs())}
+		for _, lvl := range m.Levels() {
+			row.Levels = append(row.Levels, modelLevel{
+				Level:    lvl,
+				PredLoss: m.PredictLoss(lvl),
+				Speedup:  m.Speedup(lvl),
+			})
+		}
+		resp.Controllers = append(resp.Controllers, row)
+	}
+	writeJSON(w, resp)
+}
+
+// budgetRequest is the POST /budget JSON shape: the fleet control plane
+// pushing one controller's approximation level (the paper's M). The
+// handler is idempotent — pushing the same budget twice leaves the same
+// state — so coordinator retries are safe.
+type budgetRequest struct {
+	Controller string  `json:"controller"`
+	Level      float64 `json:"level"`
+}
+
+type budgetResponse struct {
+	Controller string  `json:"controller"`
+	Level      float64 `json:"level"`
+	Applied    bool    `json:"applied"`
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	var req budgetRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, "bad budget body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Controller == "" {
+		req.Controller = snapshotName
+	}
+	loop := s.loops[req.Controller]
+	if loop == nil {
+		http.Error(w, "unknown controller "+req.Controller, http.StatusNotFound)
+		return
+	}
+	if !(req.Level > 0) || math.IsInf(req.Level, 0) {
+		http.Error(w, "level must be a positive finite number", http.StatusBadRequest)
+		return
+	}
+	loop.SetLevel(req.Level)
+	s.ops.BudgetPushes.Add(1)
+	writeJSON(w, budgetResponse{Controller: req.Controller, Level: loop.Level(), Applied: true})
 }
 
 // withResilience wraps a handler with the in-flight cap (shed with 503
@@ -589,6 +695,7 @@ type docScanner interface {
 	Step() bool
 	Processed() int
 	TopNInto([]int) []int
+	TopNResultsInto([]search.Result) []search.Result
 }
 
 // serveScratch is the pooled per-request working set of the /search
@@ -601,6 +708,12 @@ type serveScratch struct {
 	scanAnd search.ScanAnd
 	resp    searchResponse
 	buf     []byte
+	// wantScores asks serveQuery for the score-bearing page; results and
+	// scores are its reusable buffers (resp.Scores is nil on the plain
+	// path, so the backing array is retained here).
+	wantScores bool
+	results    []search.Result
+	scores     []float64
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(serveScratch) }}
@@ -647,6 +760,7 @@ func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.
 	qos.release()
 	if degraded {
 		s.ops.DeadlinePartial.Add(1)
+		s.ops.Degraded.Add(1)
 	}
 	s.queries.Add(1)
 	s.docsScored.Add(int64(scan.Processed()))
@@ -655,11 +769,26 @@ func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.
 		s.monitoredQueries.Add(1)
 	}
 	sc.resp = searchResponse{
-		Docs:          scan.TopNInto(sc.resp.Docs),
+		Docs:          sc.resp.Docs,
+		Scores:        nil,
 		DocsScored:    scan.Processed(),
 		Approximated:  res.Approximated,
 		MonitoredScan: res.Monitored,
 		Degraded:      degraded,
+	}
+	if sc.wantScores {
+		// The coordinator's merge needs exact scores; split the ranked
+		// (doc, score) page into the two parallel response arrays.
+		sc.results = scan.TopNResultsInto(sc.results[:0])
+		docs := sc.resp.Docs[:0]
+		scores := sc.scores[:0]
+		for _, r := range sc.results {
+			docs = append(docs, int(r.Doc))
+			scores = append(scores, r.Score)
+		}
+		sc.resp.Docs, sc.resp.Scores, sc.scores = docs, scores, scores
+	} else {
+		sc.resp.Docs = scan.TopNInto(sc.resp.Docs)
 	}
 	return nil
 }
@@ -683,6 +812,13 @@ func (s *Server) parsedQuery(rawQ string) *cachedQuery {
 	return cq
 }
 
+// handleSearch serves one query. The handler is side-effect-free per
+// request by design — retries and hedged duplicates from a coordinator
+// are safe: serving the same query twice touches no state beyond
+// monotonic counters (queries/docs-scored/ops) and the controller's
+// monitored-sampling stream, and returns the same ranked page both
+// times (TestSearchHandlerIdempotent). Keep it that way: any per-query
+// mutation added here must be idempotent or moved off this path.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	rawQ, ok := rawParam(r.URL.RawQuery, "q")
 	if !ok || rawQ == "" {
@@ -696,9 +832,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	q := search.Query{Terms: cq.terms}
 	mode, _ := rawParam(r.URL.RawQuery, "mode")
+	scoresParam, _ := rawParam(r.URL.RawQuery, "scores")
+	wantScores := scoresParam == "1"
 	switch mode {
 	case "", "or":
 		sc := scratchPool.Get().(*serveScratch)
+		sc.wantScores = wantScores
 		sc.scan.Reset(s.engine, q, s.cfg.TopN)
 		if err := s.serveQuery(r.Context(), s.requestDeadline(), s.loop, &sc.scan, q, false, sc); err != nil {
 			sc.release()
@@ -713,6 +852,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			// The conjunctive scan is its own registered approximation
 			// site, with its own calibrated model and controller.
 			sc := scratchPool.Get().(*serveScratch)
+			sc.wantScores = wantScores
 			sc.scanAnd.Reset(s.engine, q, s.cfg.TopN)
 			if err := s.serveQuery(r.Context(), s.requestDeadline(), s.and, &sc.scanAnd, q, true, sc); err != nil {
 				sc.release()

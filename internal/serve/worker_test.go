@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// workerServer builds a small shard worker.
+func workerServer(t *testing.T, index, count int) *Server {
+	t.Helper()
+	s, err := New(Config{Seed: 7, CalibrationQueries: 60, CorpusDocs: 3000,
+		SampleInterval: 50, ShardIndex: index, ShardCount: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestSearchScoresParam: scores=1 adds a scores array parallel to docs;
+// without it the response shape is unchanged.
+func TestSearchScoresParam(t *testing.T) {
+	h := testServer(t).Handler()
+
+	rec := get(t, h, "/search?q=ocean+tree&scores=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) == 0 {
+		t.Fatal("no docs returned")
+	}
+	if len(resp.Scores) != len(resp.Docs) {
+		t.Fatalf("scores len %d != docs len %d", len(resp.Scores), len(resp.Docs))
+	}
+	for i := 1; i < len(resp.Scores); i++ {
+		if resp.Scores[i] > resp.Scores[i-1] {
+			t.Fatalf("scores not non-increasing: %v", resp.Scores)
+		}
+	}
+
+	rec = get(t, h, "/search?q=ocean+tree")
+	if strings.Contains(rec.Body.String(), `"scores"`) {
+		t.Errorf("scores emitted without scores=1: %s", rec.Body)
+	}
+	var plain searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Docs) != len(resp.Docs) {
+		t.Fatalf("docs differ with/without scores: %v vs %v", plain.Docs, resp.Docs)
+	}
+	for i := range plain.Docs {
+		if plain.Docs[i] != resp.Docs[i] {
+			t.Fatalf("docs differ with/without scores: %v vs %v", plain.Docs, resp.Docs)
+		}
+	}
+}
+
+// TestSearchHandlerIdempotent is the hedged-retry safety regression:
+// serving the same query repeatedly returns the same ranked page every
+// time, and the only state the handler touches is monotonic counters
+// plus the monitored-sampling stream. A hedged duplicate therefore
+// cannot corrupt worker state.
+func TestSearchHandlerIdempotent(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	var first searchResponse
+	for i := 0; i < 10; i++ {
+		rec := get(t, h, "/search?q=river+stone&scores=1")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("call %d: status %d", i, rec.Code)
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = resp
+			continue
+		}
+		if len(resp.Docs) != len(first.Docs) {
+			t.Fatalf("call %d: %d docs, first had %d", i, len(resp.Docs), len(first.Docs))
+		}
+		for j := range resp.Docs {
+			if resp.Docs[j] != first.Docs[j] || resp.Scores[j] != first.Scores[j] {
+				t.Fatalf("call %d: page diverged: %v/%v vs %v/%v",
+					i, resp.Docs, resp.Scores, first.Docs, first.Scores)
+			}
+		}
+	}
+	ops := s.Ops().Snapshot()
+	if ops.Shed != 0 || ops.Degraded != 0 {
+		t.Errorf("idempotent replays moved degraded/shed counters: %+v", ops)
+	}
+}
+
+// TestModelEndpoint: /model serves per-controller candidate settings
+// with monotone predicted losses.
+func TestModelEndpoint(t *testing.T) {
+	s, err := New(Config{Seed: 7, CalibrationQueries: 60, CorpusDocs: 3000,
+		SampleInterval: 50, ApproxAnd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, s.Handler(), "/model")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp modelResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Controllers) != 2 {
+		t.Fatalf("controllers = %d, want 2 (match + and)", len(resp.Controllers))
+	}
+	for _, row := range resp.Controllers {
+		if len(row.Levels) == 0 {
+			t.Fatalf("controller %q has no candidate levels", row.Name)
+		}
+		for i, lvl := range row.Levels {
+			if lvl.Level <= 0 || lvl.PredLoss < 0 || lvl.Speedup <= 0 {
+				t.Fatalf("controller %q level %d implausible: %+v", row.Name, i, lvl)
+			}
+		}
+	}
+}
+
+// TestBudgetEndpoint: a pushed budget changes the live level, repushing
+// is idempotent, and junk is rejected.
+func TestBudgetEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	for i := 0; i < 2; i++ { // idempotent
+		rec := post(t, h, "/budget", `{"controller":"serve.match","level":1234}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("push %d: status = %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if got := s.Loop().Level(); got != 1234 {
+		t.Fatalf("level after push = %v, want 1234", got)
+	}
+	if got := s.Ops().Snapshot().BudgetPushes; got != 2 {
+		t.Fatalf("budget_pushes = %d, want 2", got)
+	}
+
+	for _, body := range []string{
+		`{"controller":"serve.match","level":-5}`,
+		`{"controller":"serve.match","level":0}`,
+		`{"controller":"nope","level":10}`,
+		`not json`,
+	} {
+		rec := post(t, h, "/budget", body)
+		if rec.Code == http.StatusOK {
+			t.Errorf("budget body %q accepted", body)
+		}
+	}
+	if got := s.Loop().Level(); got != 1234 {
+		t.Fatalf("level moved by rejected pushes: %v", got)
+	}
+
+	// Default controller name: empty means the match loop.
+	rec := post(t, h, "/budget", `{"level":2000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default-controller push: status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := s.Loop().Level(); got != 2000 {
+		t.Fatalf("level after default push = %v, want 2000", got)
+	}
+}
+
+// TestWorkerShardConfig: a shard worker's /config reflects the
+// partition and its scans only ever return the shard's own documents.
+func TestWorkerShardConfig(t *testing.T) {
+	s := workerServer(t, 1, 3)
+	rec := get(t, s.Handler(), "/search?q=ocean+tree+light&scores=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range resp.Docs {
+		if d%3 != 1 {
+			t.Fatalf("doc %d does not belong to shard 1 of 3 (docs %v)", d, resp.Docs)
+		}
+	}
+	if idx, count := s.Engine().Shard(); idx != 1 || count != 3 {
+		t.Fatalf("engine shard = %d/%d, want 1/3", idx, count)
+	}
+}

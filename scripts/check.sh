@@ -98,7 +98,8 @@ go test -run '^$' -fuzz FuzzAnalyzers -fuzztime 10s ./internal/lint
 
 echo "== race (concurrency-sensitive packages) =="
 go test -race ./internal/core ./internal/serve ./internal/loadgen ./internal/search \
-	./internal/metrics ./internal/taskgraph ./internal/chaos ./internal/persist .
+	./internal/metrics ./internal/taskgraph ./internal/chaos ./internal/persist \
+	./internal/cluster .
 
 echo "== chaos smoke =="
 # A short seeded fault-injection run under the race detector: injected
@@ -107,6 +108,15 @@ echo "== chaos smoke =="
 # monitored loss re-converges. Deterministic seeds make a failure here
 # reproducible locally with the same command.
 go test -race -count 1 -run TestChaosServiceSurvivesAndRecovers ./internal/serve
+
+echo "== cluster chaos smoke =="
+# The distributed analogue: a real coordinator over six socket-served
+# shard workers with transport faults injected (killed replica, replica
+# slowed past its deadline budget, garbled bodies), asserting every
+# response is a clean 200, a degraded 200, or a 503; that breakers
+# isolate exactly the faulty replicas; and that after recovery the
+# control plane decomposes the fleet SLA into live per-shard budgets.
+go test -race -count 1 -run TestChaosEndToEnd ./internal/cluster
 
 echo "== benchmarks (smoke) =="
 go test -run xxx -bench . -benchtime 1x ./... > /dev/null
@@ -140,6 +150,27 @@ go test -run xxx -bench 'LoopHotPath/steady|Func2HotPath/steady|LoopExecN/steady
 	}
 	END {
 		if (seen < 6) { print "FAIL: expected 6 steady-path benchmarks, saw " seen; exit 1 }
+		exit bad
+	}'
+
+echo "== coordinator scatter path stays bounded =="
+# The coordinator's warm scatter/gather may allocate only the per-shard
+# request objects: one scatter goroutine per shard, the request path
+# string, and the echoed query — 5 allocs/op over three shards today,
+# gated at 6 for headroom. Anything above that means the parse/merge/
+# encode path started allocating per request.
+go test -run xxx -bench 'ClusterScatter' -benchmem -benchtime 100x -count 1 . | awk '
+	/^Benchmark/ {
+		for (i = 2; i <= NF; i++) {
+			if ($i == "allocs/op" && $(i - 1) + 0 > 6) {
+				printf "FAIL: %s allocates %s allocs/op (budget 6: per-shard scatter objects only)\n", $1, $(i - 1)
+				bad = 1
+			}
+		}
+		seen++
+	}
+	END {
+		if (seen < 1) { print "FAIL: ClusterScatter benchmark did not run"; exit 1 }
 		exit bad
 	}'
 
