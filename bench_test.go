@@ -629,6 +629,61 @@ func BenchmarkFunc2HotPath(b *testing.B) {
 	})
 }
 
+// hotLoopSelector calibrates a one-bucket selector over the hot model's
+// knots, so the selector-installed benchmark measures a warm Select
+// lookup (it resolves to the same M=8 level the reactive law picks).
+func hotLoopSelector(b *testing.B) *green.LoopSelector {
+	b.Helper()
+	cal, err := green.NewLoopCalibration("hot", []float64{4, 8}, hotLoopBound, hotLoopBound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cal.FeatureBuckets([]float64{0, 10}); err != nil {
+		b.Fatal(err)
+	}
+	feat := green.Features{Key: 5, Valid: true}
+	for i := 0; i < 3; i++ {
+		if err := cal.AddRunFeat(feat, []float64{0.10, 0.01}, []float64{4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sel, err := cal.BuildSelector()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sel
+}
+
+// BenchmarkLoopExecFeat measures the feature-threading entry point of
+// the staged pipeline. "steady" installs no selector, so ExecFeat must
+// cost what Begin costs (check.sh holds this row at 0 allocs/op);
+// "selector" adds the warm per-input Select-stage bucket lookup.
+func BenchmarkLoopExecFeat(b *testing.B) {
+	run := func(installSelector bool) func(*testing.B) {
+		return func(b *testing.B) {
+			loop := hotLoopFixture(b, 0)
+			if installSelector {
+				loop.InstallSelector(hotLoopSelector(b))
+			}
+			feat := green.Features{Key: 5, Valid: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := loop.ExecFeat(hotQoS{}, feat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				j := 0
+				for ; j < hotLoopBound && e.Continue(j); j++ {
+				}
+				e.Finish(j)
+			}
+		}
+	}
+	b.Run("steady", run(false))
+	b.Run("selector", run(true))
+}
+
 // batchSize is the batch the throughput benchmarks amortize over —
 // matching the acceptance target (steady ExecN at batch 64).
 const batchSize = 64

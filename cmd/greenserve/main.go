@@ -5,6 +5,7 @@
 //
 //	greenserve -addr :8080 -sla 0.02
 //	greenserve -addr :8080 -state-dir /var/lib/greenserve   # crash-safe state
+//	greenserve -addr :8080 -selector       # proactive per-input level selection
 //
 // Sharded serving: -role worker serves one corpus partition, -role
 // coordinator scatter/gathers a fleet of workers and runs the
@@ -55,6 +56,7 @@ func main() {
 		docs       = flag.Int("docs", 0, "synthetic corpus size (0 uses the default)")
 		calQueries = flag.Int("cal-queries", 0, "calibration query count (0 uses the default)")
 		approxAnd  = flag.Bool("approx-and", false, "approximate mode=and queries under a second registered controller")
+		selector   = flag.Bool("selector", false, "build a per-input proactive Selector during calibration (posting-mass features)")
 
 		stateDir     = flag.String("state-dir", "", "directory for crash-safe controller snapshots (empty disables persistence)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Second, "background snapshot period")
@@ -124,6 +126,7 @@ func main() {
 		CorpusDocs:         *docs,
 		CalibrationQueries: *calQueries,
 		ApproxAnd:          *approxAnd,
+		Selector:           *selector,
 		ShardIndex:         *shardIndex,
 		ShardCount:         *shardCount,
 		StateDir:           *stateDir,

@@ -151,6 +151,28 @@ type (
 	// FuncCalibration collects calibration-phase function measurements.
 	FuncCalibration = core.FuncCalibration
 
+	// Features carries the per-input signals the controller pipeline's
+	// Select stage keys on (Loop.ExecFeat, Func.CallFeat, and their
+	// batch variants). A plain value; the zero value means "no
+	// features".
+	Features = core.Features
+	// Selector is the pluggable Select stage: per-input Features to an
+	// approximation level before execution, with Correct-stage drift
+	// repair after monitored executions.
+	Selector = core.Selector
+	// SelectorStats snapshots a controller's Select-stage counters
+	// (hits, fallbacks, overrides, corrections).
+	SelectorStats = core.SelectorStats
+	// SelectorState is the versioned persisted runtime state of a
+	// Selector (per-bucket correction factors).
+	SelectorState = core.SelectorState
+	// LoopSelector is the calibrated per-feature-bucket Select stage for
+	// loops (LoopCalibration.BuildSelector).
+	LoopSelector = core.LoopSelector
+	// FuncSelector is the calibrated per-feature-bucket Select stage for
+	// approximable functions (FuncCalibration.BuildFuncSelector).
+	FuncSelector = core.FuncSelector
+
 	// Func2 approximates functions of two numeric parameters — the
 	// multi-parameter extension the paper notes in footnote 1.
 	Func2 = core.Func2

@@ -36,6 +36,16 @@ type Config struct {
 	TwoPointCrossover bool
 	// Elitism is the number of best chromosomes copied unchanged.
 	Elitism int
+	// SigFloor coarsens fitness evaluation under the graph's
+	// significance tags: tasks whose significance falls below the floor
+	// skip precise dependency timing during selection
+	// (taskgraph.MakespanApprox) — low-significance tasks take the
+	// deeper approximation — and only each generation's champion is
+	// re-timed exactly, so BestMakespan always reports a true makespan.
+	// Zero (the default) evaluates everything precisely. Requires a
+	// significance-tagged graph (Graph.TagSignificance); derive the
+	// floor from a work budget with Graph.SigFloorForBudget.
+	SigFloor float64
 	// Seed determinizes the run.
 	Seed int64
 }
@@ -74,6 +84,9 @@ type GA struct {
 	bestVal float64
 	gen     int
 	evals   int64
+	// sigSkipped counts predecessor scans elided by significance-
+	// budgeted evaluation (zero without SigFloor).
+	sigSkipped int64
 }
 
 // New seeds a GA over the graph.
@@ -87,6 +100,12 @@ func New(g *taskgraph.Graph, cfg Config) (*GA, error) {
 	}
 	if c.Elitism >= c.Pop {
 		return nil, errors.New("cga: elitism must be smaller than population")
+	}
+	if c.SigFloor < 0 || c.SigFloor > 1 {
+		return nil, errors.New("cga: SigFloor must be in [0, 1]")
+	}
+	if c.SigFloor > 0 && g.Significance == nil {
+		return nil, errors.New("cga: SigFloor requires a significance-tagged graph (Graph.TagSignificance)")
 	}
 	ga := &GA{
 		g:   g,
@@ -108,19 +127,44 @@ func New(g *taskgraph.Graph, cfg Config) (*GA, error) {
 	return ga, nil
 }
 
-// evaluate computes makespans and refreshes the best-so-far.
+// evaluate computes makespans and refreshes the best-so-far. With a
+// significance floor, selection fitness comes from the coarsened
+// evaluation and only the generation's champion is re-timed exactly
+// before it can become the best-so-far — the reported best makespan is
+// always a true schedule length.
 func (ga *GA) evaluate() error {
 	for i, chrom := range ga.pop {
-		span, err := ga.g.Makespan(chrom, ga.cfg.Procs)
+		var span float64
+		var err error
+		if ga.cfg.SigFloor > 0 {
+			var skipped int
+			span, skipped, err = ga.g.MakespanApprox(chrom, ga.cfg.Procs, ga.cfg.SigFloor)
+			ga.sigSkipped += int64(skipped)
+		} else {
+			span, err = ga.g.Makespan(chrom, ga.cfg.Procs)
+		}
 		if err != nil {
 			return err
 		}
 		ga.spans[i] = span
 		ga.evals++
-		if ga.best == nil || span < ga.bestVal {
-			ga.bestVal = span
-			ga.best = append(ga.best[:0], chrom...)
+	}
+	champ := 0
+	for i := range ga.spans {
+		if ga.spans[i] < ga.spans[champ] {
+			champ = i
 		}
+	}
+	exact := ga.spans[champ]
+	if ga.cfg.SigFloor > 0 {
+		var err error
+		if exact, err = ga.g.Makespan(ga.pop[champ], ga.cfg.Procs); err != nil {
+			return err
+		}
+	}
+	if ga.best == nil || exact < ga.bestVal {
+		ga.bestVal = exact
+		ga.best = append(ga.best[:0], ga.pop[champ]...)
 	}
 	return nil
 }
@@ -204,6 +248,11 @@ func (ga *GA) BestAssignment() []int {
 // Evaluations returns the number of fitness (makespan) evaluations
 // performed: the work unit of the CGA experiments.
 func (ga *GA) Evaluations() int64 { return ga.evals }
+
+// SigSkipped returns the number of per-task predecessor scans elided by
+// significance-budgeted evaluation — the work the SigFloor saved (zero
+// when evaluating precisely).
+func (ga *GA) SigSkipped() int64 { return ga.sigSkipped }
 
 // Run executes generations until the cap and returns the best makespan.
 func (ga *GA) Run(generations int) (float64, error) {

@@ -1,0 +1,121 @@
+package cga
+
+import (
+	"testing"
+
+	"green/internal/taskgraph"
+)
+
+func sigGraph(t *testing.T) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.Random(21, 150, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TagSignificance()
+	return g
+}
+
+// TestSigFloorValidation: a positive floor needs a tagged graph, and
+// the floor itself must be a fraction.
+func TestSigFloorValidation(t *testing.T) {
+	g, err := taskgraph.Random(21, 50, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, Config{SigFloor: 0.5, Seed: 1}); err == nil {
+		t.Error("SigFloor on an untagged graph accepted")
+	}
+	g.TagSignificance()
+	if _, err := New(g, Config{SigFloor: -0.1, Seed: 1}); err == nil {
+		t.Error("negative SigFloor accepted")
+	}
+	if _, err := New(g, Config{SigFloor: 1.5, Seed: 1}); err == nil {
+		t.Error("SigFloor above 1 accepted")
+	}
+	if _, err := New(g, Config{SigFloor: 0.5, Seed: 1}); err != nil {
+		t.Errorf("valid SigFloor rejected: %v", err)
+	}
+}
+
+// TestSigFloorSkipsWork: under a significance budget the GA elides
+// predecessor scans for the low-significance tasks, and without one it
+// elides nothing.
+func TestSigFloorSkipsWork(t *testing.T) {
+	g := sigGraph(t)
+	precise, err := New(g, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := precise.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if precise.SigSkipped() != 0 {
+		t.Errorf("precise run skipped %d scans, want 0", precise.SigSkipped())
+	}
+
+	budgeted, err := New(g, Config{Seed: 5, SigFloor: g.SigFloorForBudget(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := budgeted.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.SigSkipped() == 0 {
+		t.Fatal("budgeted run elided no predecessor scans")
+	}
+	// Roughly half the tasks sit below the keep=0.5 floor, so the elided
+	// fraction of per-task scans should be substantial.
+	totalScans := budgeted.Evaluations() * int64(g.N())
+	if frac := float64(budgeted.SigSkipped()) / float64(totalScans); frac < 0.25 {
+		t.Errorf("elided fraction %.2f, want >= 0.25 under a keep=0.5 budget", frac)
+	}
+}
+
+// TestSigFloorBestIsExact: the reported best makespan under a budget is
+// a true schedule length (the champion is re-timed exactly), so
+// re-evaluating the best assignment precisely reproduces it.
+func TestSigFloorBestIsExact(t *testing.T) {
+	g := sigGraph(t)
+	ga, err := New(g, Config{Seed: 9, SigFloor: g.SigFloorForBudget(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ga.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	span, err := g.Makespan(ga.BestAssignment(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != ga.BestMakespan() {
+		t.Fatalf("BestMakespan %v != exact re-evaluation %v", ga.BestMakespan(), span)
+	}
+}
+
+// TestSigFloorRegretBounded: scheduling quality under the significance
+// budget stays close to the precise GA's — the coarsened tasks are off
+// the critical path by construction, so the distorted fitness ranking
+// rarely changes which schedules win.
+func TestSigFloorRegretBounded(t *testing.T) {
+	g := sigGraph(t)
+	precise, err := New(g, Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBest, err := precise.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := New(g, Config{Seed: 13, SigFloor: g.SigFloorForBudget(0.75)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBest, err := budgeted.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regret := (bBest - pBest) / pBest; regret > 0.15 {
+		t.Errorf("budgeted best %v vs precise %v: regret %.1f%% above 15%%", bBest, pBest, 100*regret)
+	}
+}

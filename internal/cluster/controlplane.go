@@ -35,6 +35,9 @@ type shardControl struct {
 	lastLevel     float64 // the worker's live level (current_m)
 	lastBudget    float64 // the level the control plane last pushed
 	polled        bool    // stats reached at least once ever
+	// lastControllers are the shard's per-controller selector counters
+	// from the most recent successful poll (federated into /stats).
+	lastControllers []workerControllerRow
 }
 
 // AggregateReport summarizes one control-plane round, for tests and
@@ -59,11 +62,20 @@ type AggregateReport struct {
 }
 
 // workerStats is the subset of the worker /stats shape the control
-// plane reads.
+// plane reads: the fleet-loss inputs plus each controller's
+// Select-stage counters, federated into the coordinator's own /stats.
 type workerStats struct {
-	MeanMonitoredLoss float64 `json:"mean_monitored_loss"`
-	Monitored         int64   `json:"monitored"`
-	CurrentM          float64 `json:"current_m"`
+	MeanMonitoredLoss float64               `json:"mean_monitored_loss"`
+	Monitored         int64                 `json:"monitored"`
+	CurrentM          float64               `json:"current_m"`
+	Controllers       []workerControllerRow `json:"controllers"`
+}
+
+// workerControllerRow is one worker controller's identity and selector
+// counters as they appear in the worker /stats controllers array.
+type workerControllerRow struct {
+	Name     string             `json:"name"`
+	Selector core.SelectorStats `json:"selector"`
 }
 
 // workerModel is the worker /model shape.
@@ -147,6 +159,7 @@ func (co *Coordinator) AggregateOnce(ctx context.Context) (AggregateReport, erro
 		if polls[i].statsOK {
 			st := polls[i].stats
 			ctl.lastLoss, ctl.lastMonitored, ctl.lastLevel = st.MeanMonitoredLoss, st.Monitored, st.CurrentM
+			ctl.lastControllers = st.Controllers
 			ctl.polled = true
 			rep.ShardsPolled++
 		}

@@ -39,7 +39,9 @@ func (b *budgetRecorder) last() (float64, bool) {
 func controlWorker(loss float64, monitored int64, currentM float64, rec *budgetRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, `{"mean_monitored_loss":%g,"monitored":%d,"current_m":%g}`, loss, monitored, currentM)
+		fmt.Fprintf(w, `{"mean_monitored_loss":%g,"monitored":%d,"current_m":%g,`+
+			`"controllers":[{"name":"serve.match","selector":{"installed":true,"hits":%d,"fallbacks":2,"overrides":1,"corrections":3}}]}`,
+			loss, monitored, currentM, monitored)
 	})
 	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, `{"controllers":[{"name":"serve.match","base_level":20000,"levels":[`+
@@ -138,6 +140,26 @@ func TestAggregateOnceDecomposesSLA(t *testing.T) {
 	}
 	if co.aggregations.Load() != 2 {
 		t.Errorf("aggregations = %d, want 2", co.aggregations.Load())
+	}
+
+	// The coordinator /stats federates each shard's per-controller
+	// Select-stage counters from the last poll.
+	rec := get(t, co.Handler(), "/stats")
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("stats shards = %d, want 3", len(st.Shards))
+	}
+	for _, row := range st.Shards {
+		if len(row.Controllers) != 1 || row.Controllers[0].Name != "serve.match" {
+			t.Fatalf("shard %s federated controllers = %+v", row.Name, row.Controllers)
+		}
+		sel := row.Controllers[0].Selector
+		if !sel.Installed || sel.Hits != 500 || sel.Fallbacks != 2 || sel.Overrides != 1 || sel.Corrections != 3 {
+			t.Errorf("shard %s selector counters = %+v", row.Name, sel)
+		}
 	}
 }
 

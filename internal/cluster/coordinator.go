@@ -376,6 +376,10 @@ type shardStatsRow struct {
 	LastLevel     float64           `json:"last_level"`
 	LastBudget    float64           `json:"last_budget,omitempty"`
 	Replicas      []replicaStatsRow `json:"replicas"`
+	// Controllers federates the shard's per-controller Select-stage
+	// counters from the last control-plane poll (absent until the shard
+	// has been polled, or when the shard predates the selector surface).
+	Controllers []workerControllerRow `json:"controllers,omitempty"`
 }
 
 type replicaStatsRow struct {
@@ -411,6 +415,7 @@ func (co *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			LastMonitored: ctl.lastMonitored,
 			LastLevel:     ctl.lastLevel,
 			LastBudget:    ctl.lastBudget,
+			Controllers:   ctl.lastControllers,
 		}
 		if row.Healthy {
 			resp.ShardsHealthy++

@@ -94,6 +94,13 @@ type LoopBatch struct {
 	// inline at the call site.
 	fast bool
 
+	// Select-stage decision (ExecNFeat): one Features value describes
+	// the whole batch; the monitored member routes its loss back
+	// through the Correct stage.
+	feat     Features
+	selLevel float64
+	selected bool
+
 	res BatchResult
 }
 
@@ -109,6 +116,21 @@ var batchPool = sync.Pool{New: func() any { return new(LoopBatch) }}
 // finished before all n members ran returns the unused executions to
 // the counters.
 func (l *Loop) ExecN(n int, qos LoopQoS) (*LoopBatch, error) {
+	return l.execN(n, qos, Features{}, false)
+}
+
+// ExecNFeat starts a batch with per-input Features describing the
+// batch's members (the batched ExecFeat): the Select stage chooses one
+// level for the whole batch, and the monitored member's loss corrects
+// the chosen bucket. With no Selector installed the batch is
+// bit-identical to ExecN.
+func (l *Loop) ExecNFeat(n int, qos LoopQoS, f Features) (*LoopBatch, error) {
+	return l.execN(n, qos, f, true)
+}
+
+// execN is the shared Select+Execute front half of the batched
+// pipeline.
+func (l *Loop) execN(n int, qos LoopQoS, f Features, useSel bool) (*LoopBatch, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: batch size %d < 1", n)
 	}
@@ -124,14 +146,27 @@ func (l *Loop) ExecN(n int, qos LoopQoS) (*LoopBatch, error) {
 		delta = d
 	}
 	st := l.state.Load()
-	o := l.beginBatchObservation(n)
+	o := l.stageExecuteBatch(n)
+	disabled := st.disabled || st.forceOff || o.forced
+	var sd selDecision
+	if useSel {
+		sd = l.stageSelect(f, obs{forced: o.forced}, st.disabled || st.forceOff)
+	}
 	b := batchPool.Get().(*LoopBatch)
 	*b = LoopBatch{
 		loop: l, qos: qos, delta: delta,
 		n: n, monitorAt: o.monitorAt, first: o.first, probe: o.probe,
 		level: st.level, adaptive: st.adaptive, mode: l.cfg.Mode,
-		disabled:  st.disabled || st.forceOff || o.forced,
+		disabled:  disabled,
 		wouldStop: -1,
+		feat:      sd.feat, selLevel: sd.level, selected: sd.selected,
+	}
+	if sd.selected {
+		if b.mode == Adaptive {
+			b.adaptive.M = sd.level
+		} else {
+			b.level = sd.level
+		}
 	}
 	return b, nil
 }
@@ -280,8 +315,9 @@ func (b *LoopBatch) endMonitored(finalIter int) Result {
 	}
 	l := b.loop
 	o := obs{seq: b.first + int64(b.k-1), monitor: true, probe: b.probe}
+	sd := selDecision{feat: b.feat, level: b.selLevel, selected: b.selected}
 	res.Loss = loss
-	res.Recalibrated = l.finishObservation(o, loss, b.panicked, func(st *loopState, a Action) float64 {
+	res.Recalibrated = l.stageObserveCorrect(o, loss, b.panicked, sd, func(st *loopState, a Action) float64 {
 		l.applyAction(st, a)
 		return st.level
 	})
@@ -296,10 +332,18 @@ func (b *LoopBatch) endMonitored(finalIter int) Result {
 	}
 	// The observation may have moved the level (or the breaker may have
 	// tripped): the batch's remaining members read the fresh snapshot,
-	// exactly as unbatched Begins would.
+	// exactly as unbatched Begins would. A Select-stage choice still
+	// governs the remaining members' level.
 	st := l.state.Load()
 	b.level, b.adaptive = st.level, st.adaptive
 	b.disabled = st.disabled || st.forceOff
+	if b.selected && !b.disabled {
+		if b.mode == Adaptive {
+			b.adaptive.M = b.selLevel
+		} else {
+			b.level = b.selLevel
+		}
+	}
 	return res
 }
 

@@ -28,6 +28,14 @@ type LoopCalibration struct {
 	lossSums  []float64
 	workSums  []float64
 	runs      int
+
+	// Feature-tagged accumulation (FeatureBuckets/AddRunFeat): per
+	// feature bucket, the same per-knot loss/work sums, feeding
+	// BuildSelector's per-bucket curves.
+	featEdges    []float64
+	featLossSums [][]float64
+	featWorkSums [][]float64
+	featRuns     []int
 }
 
 // NewLoopCalibration prepares a collection over the given candidate
@@ -139,6 +147,148 @@ func (c *LoopCalibration) AddRunsParallel(workers, n int, fn func(i int) (losses
 // Runs returns the number of training inputs recorded.
 func (c *LoopCalibration) Runs() int { return c.runs }
 
+// FeatureBuckets declares the feature-bucket boundaries (ascending;
+// bucket b spans [edges[b], edges[b+1]), the last bucket closed on the
+// right) for feature-tagged calibration. Must be called before
+// AddRunFeat.
+func (c *LoopCalibration) FeatureBuckets(edges []float64) error {
+	if err := validateBucketEdges(edges); err != nil {
+		return err
+	}
+	n := len(edges) - 1
+	c.featEdges = append([]float64(nil), edges...)
+	c.featLossSums = make([][]float64, n)
+	c.featWorkSums = make([][]float64, n)
+	c.featRuns = make([]int, n)
+	for b := 0; b < n; b++ {
+		c.featLossSums[b] = make([]float64, len(c.knots))
+		c.featWorkSums[b] = make([]float64, len(c.knots))
+	}
+	return nil
+}
+
+// AddRunFeat records one feature-tagged training input: AddRun's
+// accumulation into the global model, plus accumulation into the
+// feature bucket f.Key falls in. Inputs outside the declared buckets
+// (or with invalid Features) still train the global model — the
+// selector simply declines such inputs at run time.
+func (c *LoopCalibration) AddRunFeat(f Features, losses, work []float64) error {
+	if c.featEdges == nil {
+		return errors.New("core: AddRunFeat before FeatureBuckets")
+	}
+	if err := c.AddRun(losses, work); err != nil {
+		return err
+	}
+	if !f.Valid {
+		return nil
+	}
+	b := bucketOf(c.featEdges, f.Key)
+	if b < 0 {
+		return nil
+	}
+	for i := range losses {
+		c.featLossSums[b][i] += losses[i]
+		c.featWorkSums[b][i] += work[i]
+	}
+	c.featRuns[b]++
+	return nil
+}
+
+// AddRunsFeatParallel is AddRunsParallel for feature-tagged inputs: fn
+// additionally returns the input's Features. Accumulation stays serial
+// in input order, so the built selector is bit-identical to a serial
+// fn+AddRunFeat loop regardless of the worker count.
+func (c *LoopCalibration) AddRunsFeatParallel(workers, n int, fn func(i int) (f Features, losses, work []float64, err error)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	type out struct {
+		f            Features
+		losses, work []float64
+		err          error
+	}
+	outs := make([]out, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			o := &outs[i]
+			o.f, o.losses, o.work, o.err = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					o := &outs[i]
+					o.f, o.losses, o.work, o.err = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return fmt.Errorf("core: calibration input %d: %w", i, outs[i].err)
+		}
+		if err := c.AddRunFeat(outs[i].f, outs[i].losses, outs[i].work); err != nil {
+			return fmt.Errorf("core: calibration input %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BuildSelector averages the feature-tagged runs into a LoopSelector:
+// one loss/work curve per bucket over the knot grid, each forced into
+// a monotone non-increasing envelope (more iterations never predict
+// more loss) exactly as the global model's envelope is. Buckets that
+// saw no runs get no curve — the selector declines their inputs and
+// the pipeline falls back to the reactive level.
+func (c *LoopCalibration) BuildSelector() (*LoopSelector, error) {
+	if c.featEdges == nil {
+		return nil, errors.New("core: BuildSelector before FeatureBuckets")
+	}
+	tagged := 0
+	for _, n := range c.featRuns {
+		tagged += n
+	}
+	if tagged == 0 {
+		return nil, errors.New("core: no feature-tagged calibration runs")
+	}
+	n := len(c.featEdges) - 1
+	loss := make([][]float64, n)
+	work := make([][]float64, n)
+	for b := 0; b < n; b++ {
+		if c.featRuns[b] == 0 {
+			continue
+		}
+		loss[b] = make([]float64, len(c.knots))
+		work[b] = make([]float64, len(c.knots))
+		for i := range c.knots {
+			loss[b][i] = c.featLossSums[b][i] / float64(c.featRuns[b])
+			work[b][i] = c.featWorkSums[b][i] / float64(c.featRuns[b])
+		}
+		// Envelope: walking down from the most precise knot, loss may
+		// never increase with level.
+		for i := len(c.knots) - 2; i >= 0; i-- {
+			if loss[b][i] < loss[b][i+1] {
+				loss[b][i] = loss[b][i+1]
+			}
+		}
+	}
+	return newLoopSelector(c.name, c.baseLevel,
+		append([]float64(nil), c.featEdges...),
+		append([]float64(nil), c.knots...), loss, work), nil
+}
+
 // Build averages the recorded runs into a LoopModel.
 func (c *LoopCalibration) Build() (*model.LoopModel, error) {
 	if c.runs == 0 {
@@ -164,6 +314,13 @@ type FuncCalibration struct {
 	preciseWork float64
 	versions    []funcCalVersion
 	binWidth    float64
+
+	// Feature-tagged accumulation (FeatureBuckets/AddSampleFeat): per
+	// feature bucket, per version, the mean-loss sums feeding
+	// BuildFuncSelector.
+	featEdges   []float64
+	featLossSum [][]float64
+	featN       [][]int
 }
 
 type funcCalVersion struct {
@@ -248,6 +405,82 @@ func (c *FuncCalibration) Calibrate(precise Fn, versions []Fn, inputs []float64,
 		}
 	}
 	return nil
+}
+
+// FeatureBuckets declares the feature-bucket boundaries for feature-
+// tagged calibration (see LoopCalibration.FeatureBuckets). Must be
+// called before AddSampleFeat.
+func (c *FuncCalibration) FeatureBuckets(edges []float64) error {
+	if err := validateBucketEdges(edges); err != nil {
+		return err
+	}
+	n := len(edges) - 1
+	c.featEdges = append([]float64(nil), edges...)
+	c.featLossSum = make([][]float64, n)
+	c.featN = make([][]int, n)
+	for b := 0; b < n; b++ {
+		c.featLossSum[b] = make([]float64, len(c.versions))
+		c.featN[b] = make([]int, len(c.versions))
+	}
+	return nil
+}
+
+// AddSampleFeat records one feature-tagged sample: AddSample's global
+// accumulation plus the version's loss in the feature bucket f.Key
+// falls in. Out-of-bucket or invalid Features still train the global
+// model.
+func (c *FuncCalibration) AddSampleFeat(f Features, version int, x, loss float64) error {
+	if c.featEdges == nil {
+		return errors.New("core: AddSampleFeat before FeatureBuckets")
+	}
+	if err := c.AddSample(version, x, loss); err != nil {
+		return err
+	}
+	if !f.Valid {
+		return nil
+	}
+	b := bucketOf(c.featEdges, f.Key)
+	if b < 0 {
+		return nil
+	}
+	c.featLossSum[b][version] += loss
+	c.featN[b][version]++
+	return nil
+}
+
+// BuildFuncSelector averages the feature-tagged samples into a
+// FuncSelector: per bucket, the mean loss of every version of the
+// ladder. A bucket contributes a curve only when every version has at
+// least one sample there (a partial curve would silently prefer the
+// unsampled versions); other buckets decline at run time.
+func (c *FuncCalibration) BuildFuncSelector() (*FuncSelector, error) {
+	if c.featEdges == nil {
+		return nil, errors.New("core: BuildFuncSelector before FeatureBuckets")
+	}
+	n := len(c.featEdges) - 1
+	loss := make([][]float64, n)
+	any := false
+	for b := 0; b < n; b++ {
+		full := true
+		for v := range c.versions {
+			if c.featN[b][v] == 0 {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		loss[b] = make([]float64, len(c.versions))
+		for v := range c.versions {
+			loss[b][v] = c.featLossSum[b][v] / float64(c.featN[b][v])
+		}
+		any = true
+	}
+	if !any {
+		return nil, errors.New("core: no feature bucket has samples for every version")
+	}
+	return newFuncSelector(c.name, append([]float64(nil), c.featEdges...), loss), nil
 }
 
 // Build averages the bins into a FuncModel.

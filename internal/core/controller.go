@@ -8,24 +8,45 @@ import (
 	"sync/atomic"
 )
 
-// The generic controller runtime.
+// The generic controller runtime: a staged control pipeline.
 //
 // The paper's operational phase (§2.2.3) is one control law regardless of
-// what is being approximated: count executions, monitor every
-// Sample_QoS-th one, measure its QoS loss, feed the recalibration policy,
-// and move the approximation level by the policy's decision. Loop, Func,
-// and Func2 each add only (a) the shape of their immutable approximation
-// snapshot and (b) how a policy action translates into that snapshot.
-// Everything else — the execution/monitored counters, the striped loss
-// accumulator, the sampling decision, the panic breaker, policy
-// invocation and event emission, Stats, and the copy-on-write publish
-// protocol — lives here, once, as controller[S].
+// what is being approximated. This file organizes that law as an explicit
+// four-stage pipeline run around every execution:
+//
+//	Select  — (optional, per-input) map the execution's Features to an
+//	          approximation level through the installed Selector's
+//	          calibrated per-bucket curves. Absent a Selector — or when
+//	          the Selector declines the input — the stage falls through
+//	          to the reactive level in the snapshot. stageSelect.
+//	Execute — advance the execution counter, decide whether this
+//	          execution is monitored (count % Sample_QoS == 0), and
+//	          consult the panic breaker. stageExecute / stageExecuteBatch.
+//	Observe — on monitored executions, measure the QoS loss precisely,
+//	          accumulate it, and feed the recalibration policy.
+//	Correct — apply the policy's decision copy-on-write (the reactive
+//	          law), and — when the Select stage chose the level — route
+//	          the measured loss back into the Selector so its per-bucket
+//	          curve corrections track observed drift, clamped the same
+//	          way the cluster control plane clamps shard corrections.
+//	          Observe and Correct share stageObserveCorrect.
+//
+// Loop, Func, and Func2 each add only (a) the shape of their immutable
+// approximation snapshot, (b) how a policy action translates into that
+// snapshot, and (c) which entry points thread Features in (ExecFeat,
+// CallFeat, and their batch variants). Everything else — the counters,
+// the striped loss accumulator, the sampling decision, the panic
+// breaker, selector bookkeeping, policy invocation and event emission,
+// Stats, and the copy-on-write publish protocol — lives here, once, as
+// controller[S].
 //
 // S is the controller's immutable snapshot type (loopState, funcState,
 // func2State). The hot path reads it with one atomic load; every
 // mutation copies the current snapshot under mu, edits the copy, and
 // publishes it atomically, so non-monitored executions never take a
-// lock.
+// lock. The Selector slot is a separate atomic pointer: when none is
+// installed the Select stage is one nil check, and the pipeline is
+// bit-identical to the reactive-only law.
 
 // ctrlOptions are the configuration fields every controller kind shares;
 // each concrete config struct maps onto it in its constructor.
@@ -70,8 +91,161 @@ type controller[S any] struct {
 	lossDrained atomic.Uint64
 	brk         *breaker
 
+	// sel is the optional Select stage. Nil when no Selector is
+	// installed, so the featureless entry points and the nil-selector
+	// ExecFeat path pay one atomic load and a branch, nothing more.
+	sel atomic.Pointer[selectorSlot]
+
+	// Select-stage counters: hits (the Selector chose the level),
+	// fallbacks (no usable choice — invalid Features or an input outside
+	// the calibrated buckets), overrides (the choice was discarded
+	// because the breaker forced precise or approximation was disabled),
+	// and corrections (Correct-stage drift repairs applied to the
+	// Selector).
+	selHits        atomic.Int64
+	selFallbacks   atomic.Int64
+	selOverrides   atomic.Int64
+	selCorrections atomic.Int64
+
+	// lastRecalSeq/lastRecalAct record the most recent Correct-stage
+	// policy decision that moved the controller (sequence number of the
+	// monitored execution and the action taken), so operators can see
+	// when and how each controller last recalibrated.
+	lastRecalSeq atomic.Int64
+	lastRecalAct atomic.Int32
+
 	mu     sync.Mutex // serializes snapshot rebuilds and the policy
 	policy RecalibratePolicy
+}
+
+// Features carries the per-input signals the Select stage keys on. It is
+// a plain value — passing one allocates nothing — and the zero value is
+// "no features" (Valid false), which every Selector must decline.
+//
+// Key is the primary feature the selector's buckets partition (for the
+// search workload: the estimated match count from posting-list sizes);
+// Aux1/Aux2 carry secondary signals a Selector may fold in (term count,
+// cache-hit state, scene complexity — whatever the calibration tagged).
+type Features struct {
+	Key   float64
+	Aux1  float64
+	Aux2  float64
+	Valid bool
+}
+
+// Selector is the pluggable Select stage: it maps per-input Features to
+// an approximation level before execution, and absorbs Correct-stage
+// drift repairs after monitored executions. Implementations must be
+// deterministic (greenlint's nondet analyzer checks Select/Correct
+// bodies for wall-clock and unseeded randomness) and safe for
+// concurrent use; Select runs on the hot path and must not allocate.
+type Selector interface {
+	// Select returns the approximation level for the input, or ok=false
+	// to decline (invalid features, input outside the calibrated
+	// domain), in which case the pipeline falls back to the reactive
+	// level.
+	Select(f Features, sla float64) (level float64, ok bool)
+	// Correct feeds one monitored observation back: the features and
+	// level the Select stage chose and the measured QoS loss. It
+	// returns true when the observation moved the selector's state (a
+	// drift correction was applied).
+	Correct(f Features, level, loss float64) bool
+	// State snapshots the selector's mutable runtime state for
+	// persistence; Restore installs a validated snapshot. Restore must
+	// reject NaN/Inf or mis-shaped state.
+	State() SelectorState
+	Restore(SelectorState) error
+}
+
+// selectorSlot wraps the installed Selector so the controller can hold
+// it in an atomic.Pointer (interfaces cannot be stored there directly).
+type selectorSlot struct{ s Selector }
+
+// SelectorStats snapshots the Select-stage counters (JSON-tagged: the
+// struct is embedded verbatim in /stats controller rows).
+type SelectorStats struct {
+	Installed   bool  `json:"installed"`
+	Hits        int64 `json:"hits"`
+	Fallbacks   int64 `json:"fallbacks"`
+	Overrides   int64 `json:"overrides"`
+	Corrections int64 `json:"corrections"`
+}
+
+// selDecision records what the Select stage chose for one execution, so
+// the Correct stage can route the measured loss back into the bucket
+// that chose the level. The zero value means "reactive level used".
+type selDecision struct {
+	feat     Features
+	level    float64
+	selected bool
+}
+
+// InstallSelector installs (or, with nil, removes) the Select stage.
+// Installation is atomic; executions in flight finish under whichever
+// selector they started with.
+func (c *controller[S]) InstallSelector(s Selector) {
+	if s == nil {
+		c.sel.Store(nil)
+		return
+	}
+	c.sel.Store(&selectorSlot{s: s})
+}
+
+// Selector returns the installed Selector, or nil.
+func (c *controller[S]) Selector() Selector {
+	if slot := c.sel.Load(); slot != nil {
+		return slot.s
+	}
+	return nil
+}
+
+// SelectorStats reports the Select-stage counters.
+func (c *controller[S]) SelectorStats() SelectorStats {
+	return SelectorStats{
+		Installed:   c.sel.Load() != nil,
+		Hits:        c.selHits.Load(),
+		Fallbacks:   c.selFallbacks.Load(),
+		Overrides:   c.selOverrides.Load(),
+		Corrections: c.selCorrections.Load(),
+	}
+}
+
+// SampleInterval returns the live Sample_QoS interval (zero when
+// monitoring is disabled).
+func (c *controller[S]) SampleInterval() int64 { return c.interval.Load() }
+
+// LastRecalibration reports the sequence number and action of the most
+// recent Correct-stage policy decision that moved the controller
+// (ActNone and zero before any recalibration has acted).
+func (c *controller[S]) LastRecalibration() (seq int64, act Action) {
+	return c.lastRecalSeq.Load(), Action(c.lastRecalAct.Load())
+}
+
+// stageSelect runs the Select stage: consult the installed Selector
+// with the execution's Features. The caller passes the Execute-stage
+// decision so selector choices discarded by a forced-precise breaker
+// window are counted as overrides rather than silently dropped.
+// Lock-free; no allocation.
+func (c *controller[S]) stageSelect(f Features, o obs, disabled bool) selDecision {
+	slot := c.sel.Load()
+	if slot == nil {
+		return selDecision{}
+	}
+	if !f.Valid {
+		c.selFallbacks.Add(1)
+		return selDecision{}
+	}
+	level, ok := slot.s.Select(f, c.sla)
+	if !ok {
+		c.selFallbacks.Add(1)
+		return selDecision{}
+	}
+	if o.forced || disabled {
+		c.selOverrides.Add(1)
+		return selDecision{}
+	}
+	c.selHits.Add(1)
+	return selDecision{feat: f, level: level, selected: true}
 }
 
 // init validates the shared configuration and wires the runtime. kind
@@ -97,8 +271,8 @@ func (c *controller[S]) init(kind string, o ctrlOptions) error {
 	return nil
 }
 
-// obs is the per-execution observation decision beginObservation makes:
-// the execution's sequence number, whether it is monitored, whether the
+// obs is the per-execution decision the Execute stage makes: the
+// execution's sequence number, whether it is monitored, whether the
 // breaker forces it precise, and whether it is the breaker's half-open
 // probe.
 type obs struct {
@@ -108,12 +282,13 @@ type obs struct {
 	probe   bool
 }
 
-// beginObservation runs the shared per-execution protocol: advance the
-// execution counter, decide whether this execution is monitored
-// (count % Sample_QoS == 0), and consult the breaker. A forced-precise
-// execution has monitoring suspended (the faulty callbacks must stop
-// running); a half-open probe is forced monitored. Lock-free.
-func (c *controller[S]) beginObservation() obs {
+// stageExecute runs the Execute stage's shared per-execution protocol:
+// advance the execution counter, decide whether this execution is
+// monitored (count % Sample_QoS == 0), and consult the breaker. A
+// forced-precise execution has monitoring suspended (the faulty
+// callbacks must stop running); a half-open probe is forced monitored.
+// Lock-free.
+func (c *controller[S]) stageExecute() obs {
 	n := c.count.Add(1)
 	iv := c.interval.Load()
 	o := obs{seq: n, monitor: iv > 0 && n%iv == 0}
@@ -127,11 +302,11 @@ func (c *controller[S]) beginObservation() obs {
 	return o
 }
 
-// batchObs is the per-batch observation decision beginBatchObservation
-// makes: the sequence number of the batch's first member, the offset of
-// the (at most one) monitored member, whether the breaker forces the
-// whole batch precise, and whether the monitored member is the
-// breaker's half-open probe.
+// batchObs is the per-batch decision the Execute stage makes: the
+// sequence number of the batch's first member, the offset of the (at
+// most one) monitored member, whether the breaker forces the whole
+// batch precise, and whether the monitored member is the breaker's
+// half-open probe.
 type batchObs struct {
 	first     int64 // sequence number of member 0
 	monitorAt int   // offset of the monitored member; -1 when none
@@ -139,7 +314,7 @@ type batchObs struct {
 	probe     bool
 }
 
-// beginBatchObservation runs the shared protocol once for a batch of n
+// stageExecuteBatch runs the Execute stage once for a batch of n
 // executions: one counter add covers all n sequence numbers, one
 // interval load makes one sampling decision for the whole batch, and
 // the breaker is consulted once. The monitored member is deterministic:
@@ -148,7 +323,7 @@ type batchObs struct {
 // unbatched schedule exactly; a shorter interval collapses to at most
 // one monitored member per batch (the amortization contract — see
 // DESIGN.md §12). Lock-free.
-func (c *controller[S]) beginBatchObservation(n int) batchObs {
+func (c *controller[S]) stageExecuteBatch(n int) batchObs {
 	end := c.count.Add(int64(n))
 	first := end - int64(n) + 1
 	b := batchObs{first: first, monitorAt: -1}
@@ -179,15 +354,29 @@ func (c *controller[S]) reconcileBatch(n, ran int) {
 	}
 }
 
-// finishObservation completes one monitored execution. A contained panic
-// is a failed observation: its loss value would be garbage, so it is
-// discarded — never counted into the monitored statistics, never fed to
-// the policy — and charged to the breaker. A clean observation updates
-// the counters, feeds the policy, and applies its decision copy-on-write:
-// apply translates the policy action into snapshot changes and returns
-// the post-action approximation level for the event, which fires outside
-// the lock. Returns the action taken (ActNone for failed observations).
+// finishObservation completes one monitored execution that carried no
+// Select-stage decision (the featureless entry points). It is the
+// Observe + Correct stages with an empty selDecision.
 func (c *controller[S]) finishObservation(o obs, loss float64, panicked bool, apply func(*S, Action) float64) Action {
+	return c.stageObserveCorrect(o, loss, panicked, selDecision{}, apply)
+}
+
+// stageObserveCorrect runs the Observe and Correct stages for one
+// monitored execution. A contained panic is a failed observation: its
+// loss value would be garbage, so it is discarded — never counted into
+// the monitored statistics, never fed to the policy — and charged to
+// the breaker.
+//
+// Observe: update the counters, accumulate the loss, and feed the
+// recalibration policy. Correct: apply the policy's decision
+// copy-on-write (apply translates the action into snapshot changes and
+// returns the post-action approximation level for the event), record
+// the recalibration metadata, and — when the Select stage chose this
+// execution's level — route the measured loss back into the Selector
+// so its per-bucket corrections track observed drift. The event fires
+// outside the lock. Returns the action taken (ActNone for failed
+// observations).
+func (c *controller[S]) stageObserveCorrect(o obs, loss float64, panicked bool, sd selDecision, apply func(*S, Action) float64) Action {
 	if panicked {
 		c.brk.onPanic(o.seq, o.probe)
 		return ActNone
@@ -211,7 +400,19 @@ func (c *controller[S]) finishObservation(o obs, loss float64, panicked bool, ap
 	next := *c.state.Load()
 	level := apply(&next, d.Action)
 	c.state.Store(&next)
+	c.lastRecalSeq.Store(o.seq)
+	c.lastRecalAct.Store(int32(d.Action))
 	c.mu.Unlock()
+
+	// Correct the Selector: the measured loss repairs the per-bucket
+	// curve that chose this execution's level. The selector synchronizes
+	// its own state (copy-on-write), so this stays off the controller
+	// lock.
+	if sd.selected {
+		if slot := c.sel.Load(); slot != nil && slot.s.Correct(sd.feat, sd.level, loss) {
+			c.selCorrections.Add(1)
+		}
+	}
 
 	if c.onEvent != nil {
 		c.onEvent(Event{

@@ -149,7 +149,7 @@ func (f *Func2) selectVersion(st *func2State, x, y float64) int {
 // breaker.
 func (f *Func2) Call(x, y float64) float64 {
 	st := f.state.Load()
-	o := f.beginObservation()
+	o := f.stageExecute()
 	v := f.selectVersion(st, x, y)
 	if o.forced {
 		// Breaker open: forced precise, monitoring suspended.
@@ -203,7 +203,7 @@ func (f *Func2) CallN(xs, ys, zs []float64) error {
 		return nil
 	}
 	st := f.state.Load()
-	o := f.beginBatchObservation(n)
+	o := f.stageExecuteBatch(n)
 	if o.forced {
 		// Breaker open: the whole batch runs precise, monitoring
 		// suspended.

@@ -195,9 +195,34 @@ func (f *Func) selectVersion(st *funcState, x float64) int {
 // version run; the measured loss feeds the recalibration policy and the
 // precise result is returned.
 func (f *Func) Call(x float64) float64 {
+	return f.call(x, Features{}, false)
+}
+
+// CallFeat evaluates the function at x with per-input Features: the
+// Select stage maps them through the installed Selector to a version
+// of the ladder (the level is the version index; model.PreciseVersion
+// selects precise), replacing the range-table lookup for this call.
+// When no Selector is installed (or it declines) the call is
+// bit-identical to Call.
+func (f *Func) CallFeat(x float64, feat Features) float64 {
+	return f.call(x, feat, true)
+}
+
+// call is the shared Select+Execute+Observe+Correct pipeline of one
+// function call.
+func (f *Func) call(x float64, feat Features, useSel bool) float64 {
 	st := f.state.Load()
-	o := f.beginObservation()
-	v := f.selectVersion(st, x)
+	o := f.stageExecute()
+	var sd selDecision
+	if useSel {
+		sd = f.stageSelect(feat, o, st.disabled || st.forceOff)
+	}
+	var v int
+	if sd.selected {
+		v = f.clampVersion(sd.level)
+	} else {
+		v = f.selectVersion(st, x)
+	}
 	if o.forced {
 		// Breaker open: forced precise, monitoring suspended.
 		v = model.PreciseVersion
@@ -236,11 +261,22 @@ func (f *Func) Call(x float64) float64 {
 	}
 	f.addWork(work)
 
-	f.finishObservation(o, loss, panicked, func(st *funcState, a Action) float64 {
+	f.stageObserveCorrect(o, loss, panicked, sd, func(st *funcState, a Action) float64 {
 		applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
 		return float64(st.offset)
 	})
 	return yp
+}
+
+// clampVersion maps a Select-stage level onto the version ladder:
+// negative levels are the precise function, and anything past the
+// ladder's end is precise too.
+func (f *Func) clampVersion(level float64) int {
+	v := int(level)
+	if v < 0 || v >= len(f.versions) {
+		return model.PreciseVersion
+	}
+	return v
 }
 
 // CallN evaluates the function at each xs[i], writing results into
@@ -253,6 +289,18 @@ func (f *Func) Call(x float64) float64 {
 // the remaining members see the post-recalibration snapshot. ys must be
 // at least as long as xs.
 func (f *Func) CallN(xs, ys []float64) error {
+	return f.callN(xs, ys, Features{}, false)
+}
+
+// CallNFeat is the batched CallFeat: one Features value describes the
+// batch, the Select stage chooses one version for all members, and the
+// monitored member's loss corrects the chosen bucket. Bit-identical to
+// CallN when no Selector is installed.
+func (f *Func) CallNFeat(xs, ys []float64, feat Features) error {
+	return f.callN(xs, ys, feat, true)
+}
+
+func (f *Func) callN(xs, ys []float64, feat Features, useSel bool) error {
 	n := len(xs)
 	if len(ys) < n {
 		return fmt.Errorf("core: func %q: CallN output slice %d shorter than input %d", f.cfg.Name, len(ys), n)
@@ -261,7 +309,11 @@ func (f *Func) CallN(xs, ys []float64) error {
 		return nil
 	}
 	st := f.state.Load()
-	o := f.beginBatchObservation(n)
+	o := f.stageExecuteBatch(n)
+	var sd selDecision
+	if useSel {
+		sd = f.stageSelect(feat, obs{forced: o.forced}, st.disabled || st.forceOff)
+	}
 	if o.forced {
 		// Breaker open: the whole batch runs precise, monitoring
 		// suspended.
@@ -274,7 +326,12 @@ func (f *Func) CallN(xs, ys []float64) error {
 	work := 0.0
 	for i := 0; i < n; i++ {
 		x := xs[i]
-		v := f.selectVersion(st, x)
+		var v int
+		if sd.selected {
+			v = f.clampVersion(sd.level)
+		} else {
+			v = f.selectVersion(st, x)
+		}
 		if i != o.monitorAt {
 			if v == model.PreciseVersion {
 				work += f.cfg.Model.PreciseWork
@@ -303,7 +360,7 @@ func (f *Func) CallN(xs, ys []float64) error {
 			}
 		}
 		ys[i] = yp
-		f.finishObservation(obs{seq: o.first + int64(i), monitor: true, probe: o.probe}, loss, panicked,
+		f.stageObserveCorrect(obs{seq: o.first + int64(i), monitor: true, probe: o.probe}, loss, panicked, sd,
 			func(st *funcState, a Action) float64 {
 				applyOffsetAction(&st.offset, &st.disabled, a, len(f.versions))
 				return float64(st.offset)

@@ -258,6 +258,13 @@ type LoopExec struct {
 	wouldStop  int   // iteration at which the approximation decided to stop
 	recorded   bool  // Record already called for wouldStop
 	terminated bool  // loop actually terminated early
+
+	// Select-stage decision (ExecFeat): the Features and level the
+	// Selector chose, routed back through the Correct stage when this
+	// execution is monitored.
+	feat     Features
+	selLevel float64
+	selected bool
 }
 
 // execPool recycles LoopExec objects so steady-state executions are
@@ -268,8 +275,26 @@ var execPool = sync.Pool{New: func() any { return new(LoopExec) }}
 // QoS_Compute; in Adaptive mode it must also implement DeltaQoS, or Begin
 // returns an error. Begin performs no locking and, in steady state, no
 // allocation: it loads the current approximation snapshot atomically and
-// draws the execution handle from a pool.
+// draws the execution handle from a pool. Begin never consults the
+// Select stage; use ExecFeat to thread per-input Features.
 func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
+	return l.begin(qos, Features{}, false)
+}
+
+// ExecFeat starts one execution of the loop with per-input Features:
+// the Select stage maps them through the installed Selector's
+// calibrated per-bucket curves to this execution's approximation
+// level, and — on monitored executions — the Correct stage routes the
+// measured loss back into the chosen bucket. When no Selector is
+// installed (or the Selector declines the input) the execution is
+// bit-identical to Begin: same reactive level, same sampling schedule,
+// same loss accounting, and still zero allocations in steady state.
+func (l *Loop) ExecFeat(qos LoopQoS, f Features) (*LoopExec, error) {
+	return l.begin(qos, f, true)
+}
+
+// begin is the shared Select+Execute front half of the pipeline.
+func (l *Loop) begin(qos LoopQoS, f Features, useSel bool) (*LoopExec, error) {
 	if qos == nil {
 		return nil, errors.New("core: nil LoopQoS")
 	}
@@ -282,13 +307,17 @@ func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
 		delta = d
 	}
 	st := l.state.Load()
-	o := l.beginObservation()
+	o := l.stageExecute()
 	disabled := st.disabled || st.forceOff
 	if o.forced {
 		// Breaker open: forced precise, and monitoring suspended so the
-		// faulty callbacks stop running (beginObservation already cleared
+		// faulty callbacks stop running (stageExecute already cleared
 		// o.monitor).
 		disabled = true
+	}
+	var sd selDecision
+	if useSel {
+		sd = l.stageSelect(f, o, disabled)
 	}
 	e := execPool.Get().(*LoopExec)
 	*e = LoopExec{
@@ -303,6 +332,20 @@ func (l *Loop) Begin(qos LoopQoS) (*LoopExec, error) {
 		seq:       o.seq,
 		probe:     o.probe,
 		wouldStop: -1,
+		feat:      sd.feat,
+		selLevel:  sd.level,
+		selected:  sd.selected,
+	}
+	if sd.selected {
+		// The Select stage chose this execution's level: in static mode
+		// the chosen level is the termination threshold M; in adaptive
+		// mode it replaces the iteration floor while the Delta law still
+		// decides the exact stop.
+		if l.cfg.Mode == Adaptive {
+			e.adaptive.M = sd.level
+		} else {
+			e.level = sd.level
+		}
 	}
 	return e, nil
 }
@@ -454,11 +497,12 @@ func (e *LoopExec) Finish(finalIter int) Result {
 		loss, _ = e.safeLoss(finalIter)
 	}
 	o := obs{seq: e.seq, monitor: true, probe: e.probe}
+	sd := selDecision{feat: e.feat, level: e.selLevel, selected: e.selected}
 	panicked := e.panicked
 	res.Loss = loss
 	e.release()
 
-	res.Recalibrated = l.finishObservation(o, loss, panicked, func(st *loopState, a Action) float64 {
+	res.Recalibrated = l.stageObserveCorrect(o, loss, panicked, sd, func(st *loopState, a Action) float64 {
 		l.applyAction(st, a)
 		return st.level
 	})

@@ -17,13 +17,17 @@ import (
 
 // Controller is the uniform operational-phase surface Loop, Func, and
 // Func2 expose to the registry: identity, runtime statistics, the
-// scalar approximation level, breaker health, and versioned state
-// checkpointing.
+// scalar approximation level, the live sampling interval and last
+// recalibration, Select-stage counters, breaker health, and versioned
+// state checkpointing.
 type Controller interface {
 	Name() string
 	SLA() float64
 	Stats() (executions, monitored int64, meanLoss float64)
 	Level() float64
+	SampleInterval() int64
+	LastRecalibration() (seq int64, act Action)
+	SelectorStats() SelectorStats
 	Breaker() BreakerStats
 	ApproxEnabled() bool
 	MarshalState() ([]byte, error)

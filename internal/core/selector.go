@@ -1,0 +1,386 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"green/internal/model"
+)
+
+// The concrete Select-stage implementations: per-feature-bucket loss
+// curves fit during calibration, piecewise over the same level grid the
+// reactive model uses, with Correct-stage drift repair.
+//
+// A selector partitions the feature domain (Features.Key) into buckets
+// and keeps, per bucket, the calibrated mean loss at every candidate
+// level. Select inverts the bucket's curve: the cheapest level whose
+// corrected predicted loss stays within the SLA. Correct compares each
+// monitored observation against the bucket's prediction and moves the
+// bucket's multiplicative correction factor toward the observed/
+// predicted ratio — clamped to [selCorrLo, selCorrHi], the same bounds
+// the cluster control plane applies to shard-level corrections
+// (cluster.corrLo/corrHi), so one noisy window cannot swing a bucket's
+// whole curve by orders of magnitude.
+//
+// The curves themselves are immutable after build; only the factor
+// vector mutates, copy-on-write under the selector's own lock, so
+// Select stays lock-free and allocation-free on the hot path.
+
+// selectorStateVersion versions the persisted selector section of a
+// controller snapshot. Restore rejects other versions.
+const selectorStateVersion = 1
+
+// selCorrLo/selCorrHi bound the per-bucket correction factors — the
+// same clamp the fleet control plane applies to shard model
+// corrections.
+const selCorrLo, selCorrHi = 0.25, 4.0
+
+// selCorrAlpha is the EWMA gain of the Correct stage: each monitored
+// observation moves the bucket factor a quarter of the way toward the
+// clamped observed/predicted ratio.
+const selCorrAlpha = 0.25
+
+// selPredFloor is the predicted-loss magnitude below which the
+// observed/predicted ratio is meaningless; observations there either
+// force the factor to the upper clamp (observed loss where none was
+// predicted) or are ignored (agreement at zero).
+const selPredFloor = 1e-9
+
+// SelectorState is the versioned persisted runtime state of a Selector:
+// the per-bucket drift-correction factors. The curves are not persisted
+// — they are rebuilt from calibration, exactly like the reactive model.
+type SelectorState struct {
+	Version int       `json:"version"`
+	Kind    string    `json:"kind"`
+	Factors []float64 `json:"factors"`
+}
+
+// validateSelectorState rejects version skew, kind mismatches, and
+// NaN/Inf or mis-shaped factor vectors.
+func validateSelectorState(s SelectorState, kind string, buckets int) error {
+	if s.Version != selectorStateVersion {
+		return fmt.Errorf("core: selector state version %d, want %d", s.Version, selectorStateVersion)
+	}
+	if s.Kind != kind {
+		return fmt.Errorf("core: selector state kind %q, want %q", s.Kind, kind)
+	}
+	if len(s.Factors) != buckets {
+		return fmt.Errorf("core: selector state has %d bucket factors, selector has %d buckets", len(s.Factors), buckets)
+	}
+	for i, f := range s.Factors {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("core: selector bucket %d factor %v is not finite", i, f)
+		}
+		if f < selCorrLo || f > selCorrHi {
+			return fmt.Errorf("core: selector bucket %d factor %v outside clamp [%v,%v]", i, f, selCorrLo, selCorrHi)
+		}
+	}
+	return nil
+}
+
+// validateBucketEdges checks a feature-bucket boundary vector: at least
+// one bucket, strictly ascending, finite.
+func validateBucketEdges(edges []float64) error {
+	if len(edges) < 2 {
+		return errors.New("core: feature buckets need at least two edges")
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("core: feature bucket edge %d (%v) is not finite", i, e)
+		}
+		if i > 0 && e <= edges[i-1] {
+			return fmt.Errorf("core: feature bucket edges must ascend strictly (edge %d: %v after %v)", i, e, edges[i-1])
+		}
+	}
+	return nil
+}
+
+// bucketOf maps a feature key onto a bucket index under the edge
+// vector, or -1 outside the calibrated domain. The final bucket is
+// closed on the right so the domain maximum stays selectable.
+func bucketOf(edges []float64, key float64) int {
+	n := len(edges) - 1
+	if key < edges[0] || key > edges[n] {
+		return -1
+	}
+	if key == edges[n] {
+		return n - 1
+	}
+	b := sort.SearchFloat64s(edges[1:], key)
+	if key == edges[1:][b] {
+		b++ // right-open buckets: a key on an interior edge opens the next bucket
+	}
+	return b
+}
+
+// LoopSelector is the Select stage for loops: per-feature-bucket loss
+// and work curves over the calibration knot grid. Built by
+// LoopCalibration.BuildSelector.
+type LoopSelector struct {
+	name   string
+	base   float64   // the precise level (LoopCalibration baseLevel)
+	edges  []float64 // bucket boundaries, ascending, len = buckets+1
+	levels []float64 // knot grid, ascending, shared by all buckets
+	loss   [][]float64
+	work   [][]float64 // per-bucket mean work per knot (reports/experiments)
+
+	factors atomic.Pointer[[]float64]
+	mu      sync.Mutex // serializes factor rebuilds (Correct, Restore)
+}
+
+// newLoopSelector wires a built selector; curves[b] == nil marks a
+// bucket that saw no calibration runs (Select declines there).
+func newLoopSelector(name string, base float64, edges, levels []float64, loss, work [][]float64) *LoopSelector {
+	s := &LoopSelector{name: name, base: base, edges: edges, levels: levels, loss: loss, work: work}
+	f := make([]float64, len(edges)-1)
+	for i := range f {
+		f[i] = 1
+	}
+	s.factors.Store(&f)
+	return s
+}
+
+// Buckets returns the number of feature buckets.
+func (s *LoopSelector) Buckets() int { return len(s.edges) - 1 }
+
+// Edges returns a copy of the bucket boundary vector.
+func (s *LoopSelector) Edges() []float64 { return append([]float64(nil), s.edges...) }
+
+// Factors returns a copy of the live per-bucket correction factors.
+func (s *LoopSelector) Factors() []float64 {
+	return append([]float64(nil), (*s.factors.Load())...)
+}
+
+// Select implements Selector: the cheapest calibrated level whose
+// corrected predicted loss for the input's bucket stays within the SLA,
+// or the precise base level when no knot qualifies. Declines inputs
+// outside the calibrated feature domain and buckets that saw no
+// calibration runs. Lock-free; no allocation.
+func (s *LoopSelector) Select(f Features, sla float64) (float64, bool) {
+	if !f.Valid {
+		return 0, false
+	}
+	b := bucketOf(s.edges, f.Key)
+	if b < 0 || s.loss[b] == nil {
+		return 0, false
+	}
+	fac := (*s.factors.Load())[b]
+	curve := s.loss[b]
+	for i := range s.levels {
+		if fac*curve[i] <= sla {
+			return s.levels[i], true
+		}
+	}
+	return s.base, true
+}
+
+// PredictLoss returns the corrected predicted loss for the input at the
+// given level (0 outside the calibrated domain), for experiments and
+// tests.
+func (s *LoopSelector) PredictLoss(f Features, level float64) float64 {
+	b := bucketOf(s.edges, f.Key)
+	if b < 0 || s.loss[b] == nil {
+		return 0
+	}
+	return (*s.factors.Load())[b] * s.lossAt(b, level)
+}
+
+// lossAt interpolates bucket b's calibrated loss curve at an arbitrary
+// level: the first knot's loss below the grid, linear between knots,
+// and linear toward zero at the base (precise) level beyond the last
+// knot.
+func (s *LoopSelector) lossAt(b int, level float64) float64 {
+	curve := s.loss[b]
+	if level >= s.base {
+		return 0
+	}
+	if level <= s.levels[0] {
+		return curve[0]
+	}
+	for j := 1; j < len(s.levels); j++ {
+		if level <= s.levels[j] {
+			span := s.levels[j] - s.levels[j-1]
+			if span <= 0 {
+				return curve[j]
+			}
+			t := (level - s.levels[j-1]) / span
+			return curve[j-1] + t*(curve[j]-curve[j-1])
+		}
+	}
+	span := s.base - s.levels[len(s.levels)-1]
+	if span <= 0 {
+		return curve[len(curve)-1]
+	}
+	t := (level - s.levels[len(s.levels)-1]) / span
+	return curve[len(curve)-1] * (1 - t)
+}
+
+// Correct implements Selector: move the input bucket's correction
+// factor toward the clamped observed/predicted loss ratio. Returns
+// true when the factor moved.
+func (s *LoopSelector) Correct(f Features, level, loss float64) bool {
+	b := bucketOf(s.edges, f.Key)
+	if b < 0 || s.loss[b] == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.factors.Load()
+	next, moved := correctFactor(cur[b], cur[b]*s.lossAt(b, level), loss)
+	if !moved {
+		return false
+	}
+	fresh := append([]float64(nil), cur...)
+	fresh[b] = next
+	s.factors.Store(&fresh)
+	return true
+}
+
+// State implements Selector.
+func (s *LoopSelector) State() SelectorState {
+	return SelectorState{Version: selectorStateVersion, Kind: "loop", Factors: s.Factors()}
+}
+
+// Restore implements Selector: validate, then install the persisted
+// factor vector.
+func (s *LoopSelector) Restore(st SelectorState) error {
+	if err := validateSelectorState(st, "loop", s.Buckets()); err != nil {
+		return err
+	}
+	fresh := append([]float64(nil), st.Factors...)
+	s.mu.Lock()
+	s.factors.Store(&fresh)
+	s.mu.Unlock()
+	return nil
+}
+
+// correctFactor is the shared Correct-stage law: the clamped EWMA step
+// of a bucket factor given the predicted and observed loss of one
+// monitored execution.
+func correctFactor(fac, predicted, observed float64) (next float64, moved bool) {
+	var ratio float64
+	switch {
+	case predicted > selPredFloor:
+		ratio = observed / predicted
+		if ratio < selCorrLo {
+			ratio = selCorrLo
+		} else if ratio > selCorrHi {
+			ratio = selCorrHi
+		}
+	case observed > selPredFloor:
+		// Loss observed where none was predicted: the curve underestimates
+		// badly; push toward the upper clamp.
+		ratio = selCorrHi
+	default:
+		return fac, false // agreement at zero
+	}
+	next = fac * (1 - selCorrAlpha + selCorrAlpha*ratio)
+	if next < selCorrLo {
+		next = selCorrLo
+	} else if next > selCorrHi {
+		next = selCorrHi
+	}
+	if math.Abs(next-fac) < 1e-12 {
+		return fac, false
+	}
+	return next, true
+}
+
+// FuncSelector is the Select stage for approximable functions: per-
+// feature-bucket mean loss per version of the ladder. Select returns
+// the version index as the level (model.PreciseVersion when only the
+// precise function satisfies the SLA). Built by
+// FuncCalibration.BuildFuncSelector.
+type FuncSelector struct {
+	name  string
+	edges []float64
+	loss  [][]float64 // [bucket][version] mean loss; nil bucket = no samples
+
+	factors atomic.Pointer[[]float64]
+	mu      sync.Mutex
+}
+
+func newFuncSelector(name string, edges []float64, loss [][]float64) *FuncSelector {
+	s := &FuncSelector{name: name, edges: edges, loss: loss}
+	f := make([]float64, len(edges)-1)
+	for i := range f {
+		f[i] = 1
+	}
+	s.factors.Store(&f)
+	return s
+}
+
+// Buckets returns the number of feature buckets.
+func (s *FuncSelector) Buckets() int { return len(s.edges) - 1 }
+
+// Factors returns a copy of the live per-bucket correction factors.
+func (s *FuncSelector) Factors() []float64 {
+	return append([]float64(nil), (*s.factors.Load())...)
+}
+
+// Select implements Selector: the cheapest version (versions ladder
+// ascends in precision and work) whose corrected bucket mean loss
+// stays within the SLA; model.PreciseVersion when none does. Lock-free;
+// no allocation.
+func (s *FuncSelector) Select(f Features, sla float64) (float64, bool) {
+	if !f.Valid {
+		return 0, false
+	}
+	b := bucketOf(s.edges, f.Key)
+	if b < 0 || s.loss[b] == nil {
+		return 0, false
+	}
+	fac := (*s.factors.Load())[b]
+	curve := s.loss[b]
+	for v := range curve {
+		if fac*curve[v] <= sla {
+			return float64(v), true
+		}
+	}
+	return float64(model.PreciseVersion), true
+}
+
+// Correct implements Selector. Precise-version selections carry no
+// curve prediction and are skipped.
+func (s *FuncSelector) Correct(f Features, level, loss float64) bool {
+	v := int(level)
+	if v < 0 {
+		return false
+	}
+	b := bucketOf(s.edges, f.Key)
+	if b < 0 || s.loss[b] == nil || v >= len(s.loss[b]) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.factors.Load()
+	next, moved := correctFactor(cur[b], cur[b]*s.loss[b][v], loss)
+	if !moved {
+		return false
+	}
+	fresh := append([]float64(nil), cur...)
+	fresh[b] = next
+	s.factors.Store(&fresh)
+	return true
+}
+
+// State implements Selector.
+func (s *FuncSelector) State() SelectorState {
+	return SelectorState{Version: selectorStateVersion, Kind: "func", Factors: s.Factors()}
+}
+
+// Restore implements Selector.
+func (s *FuncSelector) Restore(st SelectorState) error {
+	if err := validateSelectorState(st, "func", s.Buckets()); err != nil {
+		return err
+	}
+	fresh := append([]float64(nil), st.Factors...)
+	s.mu.Lock()
+	s.factors.Store(&fresh)
+	s.mu.Unlock()
+	return nil
+}

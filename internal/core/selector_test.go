@@ -1,0 +1,796 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"green/internal/model"
+)
+
+// --- bucketOf / edge validation ---------------------------------------
+
+func TestBucketOf(t *testing.T) {
+	edges := []float64{0, 10, 20, 30}
+	cases := []struct {
+		key  float64
+		want int
+	}{
+		{-0.1, -1}, // below the domain
+		{30.1, -1}, // above the domain
+		{0, 0},     // domain minimum opens the first bucket
+		{5, 0},
+		{10, 1}, // interior edges are right-open: the key opens the next bucket
+		{19.9, 1},
+		{20, 2},
+		{29.9, 2},
+		{30, 2}, // the final bucket is right-closed: the maximum stays selectable
+	}
+	for _, c := range cases {
+		if got := bucketOf(edges, c.key); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestValidateBucketEdges(t *testing.T) {
+	if err := validateBucketEdges([]float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if err := validateBucketEdges([]float64{0, math.NaN()}); err == nil {
+		t.Error("NaN edge accepted")
+	}
+	if err := validateBucketEdges([]float64{0, math.Inf(1)}); err == nil {
+		t.Error("Inf edge accepted")
+	}
+	if err := validateBucketEdges([]float64{0, 5, 5}); err == nil {
+		t.Error("non-strictly-ascending edges accepted")
+	}
+	if err := validateBucketEdges([]float64{0, 5, 10}); err != nil {
+		t.Errorf("valid edges rejected: %v", err)
+	}
+}
+
+// --- correctFactor: the Correct-stage drift law -----------------------
+
+func TestCorrectFactor(t *testing.T) {
+	// Plain EWMA step: ratio 2 moves a quarter of the way up.
+	if next, moved := correctFactor(1, 0.1, 0.2); !moved || math.Abs(next-1.25) > 1e-12 {
+		t.Errorf("ratio 2: (%v, %v), want (1.25, true)", next, moved)
+	}
+	// Observed far below predicted: ratio clamps at selCorrLo.
+	if next, moved := correctFactor(1, 0.1, 0.0005); !moved || math.Abs(next-0.8125) > 1e-12 {
+		t.Errorf("low clamp: (%v, %v), want (0.8125, true)", next, moved)
+	}
+	// Observed far above predicted: ratio clamps at selCorrHi.
+	if next, moved := correctFactor(1, 0.1, 10); !moved || math.Abs(next-1.75) > 1e-12 {
+		t.Errorf("high clamp: (%v, %v), want (1.75, true)", next, moved)
+	}
+	// Loss observed where none was predicted: pushed toward the upper
+	// clamp as if the ratio were selCorrHi.
+	if next, moved := correctFactor(1, 0, 0.05); !moved || math.Abs(next-1.75) > 1e-12 {
+		t.Errorf("pred floor: (%v, %v), want (1.75, true)", next, moved)
+	}
+	// Agreement at zero: no information, no move.
+	if _, moved := correctFactor(1, 0, 0); moved {
+		t.Error("zero/zero agreement moved the factor")
+	}
+	// The factor itself clamps: already at the ceiling, pushing harder
+	// does not move (and does not report a move).
+	if _, moved := correctFactor(selCorrHi, 0.1, 10); moved {
+		t.Error("factor at selCorrHi still moved upward")
+	}
+	if _, moved := correctFactor(selCorrLo, 0.1, 0.0001); moved {
+		t.Error("factor at selCorrLo still moved downward")
+	}
+}
+
+// --- LoopSelector: build, select, correct, persist --------------------
+
+// selectorFixture builds a two-bucket LoopSelector over the
+// testLoopModel knot grid: bucket 0 (keys [0,10)) needs level 800 to
+// stay under a 0.05 SLA, bucket 1 (keys [10,20]) is satisfied at 100.
+func selectorFixture(t *testing.T) *LoopSelector {
+	t.Helper()
+	knots := []float64{100, 200, 400, 800, 1600}
+	cal, err := NewLoopCalibration("loop", knots, 3200, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.FeatureBuckets([]float64{0, 10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	work := []float64{100, 200, 400, 800, 1600}
+	heavy := []float64{0.40, 0.30, 0.20, 0.04, 0.01}
+	light := []float64{0.02, 0.01, 0.005, 0.002, 0.001}
+	for i := 0; i < 3; i++ {
+		if err := cal.AddRunFeat(Features{Key: 5, Valid: true}, heavy, work); err != nil {
+			t.Fatal(err)
+		}
+		if err := cal.AddRunFeat(Features{Key: 15, Valid: true}, light, work); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := cal.BuildSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestLoopSelectorSelect(t *testing.T) {
+	sel := selectorFixture(t)
+	if sel.Buckets() != 2 {
+		t.Fatalf("Buckets = %d, want 2", sel.Buckets())
+	}
+	if _, ok := sel.Select(Features{}, 0.05); ok {
+		t.Error("invalid Features accepted")
+	}
+	if _, ok := sel.Select(Features{Key: 25, Valid: true}, 0.05); ok {
+		t.Error("out-of-domain key accepted")
+	}
+	if lvl, ok := sel.Select(Features{Key: 5, Valid: true}, 0.05); !ok || lvl != 800 {
+		t.Errorf("heavy bucket: (%v, %v), want (800, true)", lvl, ok)
+	}
+	if lvl, ok := sel.Select(Features{Key: 15, Valid: true}, 0.05); !ok || lvl != 100 {
+		t.Errorf("light bucket: (%v, %v), want (100, true)", lvl, ok)
+	}
+	// No knot satisfies the SLA: fall back to the precise base level.
+	if lvl, ok := sel.Select(Features{Key: 5, Valid: true}, 0.0001); !ok || lvl != 3200 {
+		t.Errorf("unsatisfiable SLA: (%v, %v), want (3200, true)", lvl, ok)
+	}
+}
+
+func TestLoopSelectorDeclinesEmptyBucket(t *testing.T) {
+	cal, err := NewLoopCalibration("loop", []float64{100, 200}, 3200, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.FeatureBuckets([]float64{0, 10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	// Only bucket 0 sees runs; bucket 1 stays curve-less.
+	if err := cal.AddRunFeat(Features{Key: 5, Valid: true}, []float64{0.1, 0.01}, []float64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cal.BuildSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sel.Select(Features{Key: 15, Valid: true}, 0.5); ok {
+		t.Error("bucket with no calibration runs did not decline")
+	}
+	if sel.Correct(Features{Key: 15, Valid: true}, 100, 0.3) {
+		t.Error("Correct moved a factor in a curve-less bucket")
+	}
+}
+
+func TestLoopSelectorCorrect(t *testing.T) {
+	sel := selectorFixture(t)
+	f := Features{Key: 5, Valid: true}
+	// Observed loss 5x the bucket prediction at level 800 (0.04): the
+	// ratio clamps at selCorrHi and the factor steps to 1.75.
+	if !sel.Correct(f, 800, 0.20) {
+		t.Fatal("correction did not move the factor")
+	}
+	facs := sel.Factors()
+	if math.Abs(facs[0]-1.75) > 1e-12 {
+		t.Errorf("bucket 0 factor = %v, want 1.75", facs[0])
+	}
+	if facs[1] != 1 {
+		t.Errorf("bucket 1 factor = %v, want untouched 1", facs[1])
+	}
+	// The corrected curve now pushes the heavy bucket to a deeper level:
+	// 1.75 * 0.04 = 0.07 > 0.05, but 1.75 * 0.01 = 0.0175 fits.
+	if lvl, ok := sel.Select(f, 0.05); !ok || lvl != 1600 {
+		t.Errorf("post-correction select: (%v, %v), want (1600, true)", lvl, ok)
+	}
+	if sel.Correct(Features{Key: 25, Valid: true}, 800, 0.3) {
+		t.Error("out-of-domain correction moved a factor")
+	}
+}
+
+func TestLoopSelectorStateRoundtrip(t *testing.T) {
+	sel := selectorFixture(t)
+	sel.Correct(Features{Key: 5, Valid: true}, 800, 0.20)
+	st := sel.State()
+	if st.Version != selectorStateVersion || st.Kind != "loop" {
+		t.Fatalf("state header = (%d, %q)", st.Version, st.Kind)
+	}
+	fresh := selectorFixture(t)
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Factors(), sel.Factors()) {
+		t.Errorf("restored factors %v != %v", fresh.Factors(), sel.Factors())
+	}
+}
+
+func TestLoopSelectorRestoreRejections(t *testing.T) {
+	sel := selectorFixture(t)
+	good := sel.State()
+	cases := []struct {
+		name string
+		st   SelectorState
+	}{
+		{"wrong version", SelectorState{Version: 2, Kind: "loop", Factors: good.Factors}},
+		{"wrong kind", SelectorState{Version: 1, Kind: "func", Factors: good.Factors}},
+		{"short factors", SelectorState{Version: 1, Kind: "loop", Factors: []float64{1}}},
+		{"NaN factor", SelectorState{Version: 1, Kind: "loop", Factors: []float64{math.NaN(), 1}}},
+		{"Inf factor", SelectorState{Version: 1, Kind: "loop", Factors: []float64{math.Inf(1), 1}}},
+		{"below clamp", SelectorState{Version: 1, Kind: "loop", Factors: []float64{0.1, 1}}},
+		{"above clamp", SelectorState{Version: 1, Kind: "loop", Factors: []float64{5, 1}}},
+	}
+	for _, c := range cases {
+		if err := sel.Restore(c.st); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if !reflect.DeepEqual(sel.Factors(), good.Factors) {
+		t.Error("rejected restores mutated the live factors")
+	}
+}
+
+// --- calibration: feature-tagged accumulation -------------------------
+
+func TestBuildSelectorEnvelope(t *testing.T) {
+	cal, err := NewLoopCalibration("loop", []float64{100, 200, 400}, 3200, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.FeatureBuckets([]float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	// A noisy bucket where measured loss *rises* with level: the envelope
+	// must flatten it to monotone non-increasing, so Select never trusts
+	// a deeper level to lose more than a shallower one.
+	if err := cal.AddRunFeat(Features{Key: 5, Valid: true}, []float64{0.01, 0.05, 0.2}, []float64{100, 200, 400}); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cal.BuildSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every knot now predicts 0.2, so an SLA of 0.1 is unsatisfiable on
+	// the grid and falls back to the base level.
+	if lvl, ok := sel.Select(Features{Key: 5, Valid: true}, 0.1); !ok || lvl != 3200 {
+		t.Errorf("enveloped select: (%v, %v), want (3200, true)", lvl, ok)
+	}
+	if lvl, ok := sel.Select(Features{Key: 5, Valid: true}, 0.25); !ok || lvl != 100 {
+		t.Errorf("enveloped select above plateau: (%v, %v), want (100, true)", lvl, ok)
+	}
+}
+
+func TestBuildSelectorErrors(t *testing.T) {
+	cal, err := NewLoopCalibration("loop", []float64{100, 200}, 3200, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.BuildSelector(); err == nil {
+		t.Error("BuildSelector before FeatureBuckets accepted")
+	}
+	if err := cal.AddRunFeat(Features{Key: 5, Valid: true}, []float64{0.1, 0.01}, []float64{1, 2}); err == nil {
+		t.Error("AddRunFeat before FeatureBuckets accepted")
+	}
+	if err := cal.FeatureBuckets([]float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Untagged (invalid-Features) runs train the global model only.
+	if err := cal.AddRunFeat(Features{}, []float64{0.1, 0.01}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if cal.Runs() != 1 {
+		t.Errorf("global runs = %d, want 1", cal.Runs())
+	}
+	if _, err := cal.BuildSelector(); err == nil {
+		t.Error("BuildSelector with no feature-tagged runs accepted")
+	}
+}
+
+// TestAddRunsFeatParallelEquivalence: the parallel feature-tagged
+// fan-out accumulates in input order, so any worker count builds a
+// bit-identical selector.
+func TestAddRunsFeatParallelEquivalence(t *testing.T) {
+	build := func(workers int) *LoopSelector {
+		cal, err := NewLoopCalibration("loop", []float64{100, 200, 400}, 3200, 3200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cal.FeatureBuckets([]float64{0, 10, 20, 30}); err != nil {
+			t.Fatal(err)
+		}
+		err = cal.AddRunsFeatParallel(workers, 60, func(i int) (Features, []float64, []float64, error) {
+			key := float64(i % 30)
+			base := 0.001 * float64(i+1)
+			return Features{Key: key, Valid: true},
+				[]float64{base * 7, base * 3, base}, []float64{100, 200, 400}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := cal.BuildSelector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+	serial, parallel := build(1), build(8)
+	if !reflect.DeepEqual(serial.Edges(), parallel.Edges()) {
+		t.Fatal("edges differ between worker counts")
+	}
+	for _, key := range []float64{0, 5, 10, 15, 25, 30} {
+		for _, lvl := range []float64{100, 150, 200, 400, 1000} {
+			f := Features{Key: key, Valid: true}
+			if s, p := serial.PredictLoss(f, lvl), parallel.PredictLoss(f, lvl); s != p {
+				t.Fatalf("PredictLoss(key=%v, level=%v): serial %v != parallel %v", key, lvl, s, p)
+			}
+		}
+	}
+}
+
+// --- FuncSelector -----------------------------------------------------
+
+func TestFuncSelector(t *testing.T) {
+	cal, err := NewFuncCalibration("sq", 18, []string{"v0", "v1"}, []float64{4, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.FeatureBuckets([]float64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 samples every version; bucket 1 samples only v0, so it
+	// must not contribute a (silently v1-preferring) partial curve.
+	if err := cal.AddSampleFeat(Features{Key: 0.5, Valid: true}, 0, 3, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.AddSampleFeat(Features{Key: 0.5, Valid: true}, 1, 3, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.AddSampleFeat(Features{Key: 1.5, Valid: true}, 0, 3, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cal.BuildFuncSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Features{Key: 0.5, Valid: true}
+	if lvl, ok := sel.Select(full, 0.2); !ok || lvl != 0 {
+		t.Errorf("loose SLA: (%v, %v), want cheapest version 0", lvl, ok)
+	}
+	if lvl, ok := sel.Select(full, 0.05); !ok || lvl != 1 {
+		t.Errorf("mid SLA: (%v, %v), want version 1", lvl, ok)
+	}
+	if lvl, ok := sel.Select(full, 0.001); !ok || lvl != float64(model.PreciseVersion) {
+		t.Errorf("tight SLA: (%v, %v), want the precise version", lvl, ok)
+	}
+	if _, ok := sel.Select(Features{Key: 1.5, Valid: true}, 0.2); ok {
+		t.Error("partially-sampled bucket did not decline")
+	}
+	// Correct: precise-version selections carry no prediction.
+	if sel.Correct(full, float64(model.PreciseVersion), 0.3) {
+		t.Error("precise-version correction moved a factor")
+	}
+	if !sel.Correct(full, 0, 0.40) {
+		t.Fatal("correction did not move the factor")
+	}
+	// Ratio 4 clamps; factor steps 1 -> 1.75, pushing v0 out of a 0.15
+	// SLA (1.75 * 0.10) while v1 still fits.
+	if lvl, ok := sel.Select(full, 0.15); !ok || lvl != 1 {
+		t.Errorf("post-correction select: (%v, %v), want version 1", lvl, ok)
+	}
+	// Persistence mirrors the loop selector.
+	st := sel.State()
+	if st.Kind != "func" {
+		t.Errorf("kind = %q, want func", st.Kind)
+	}
+	fresh, err := cal.BuildFuncSelector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Factors(), sel.Factors()) {
+		t.Error("restored factors differ")
+	}
+	if err := fresh.Restore(SelectorState{Version: 1, Kind: "loop", Factors: st.Factors}); err == nil {
+		t.Error("loop-kind state restored into a func selector")
+	}
+}
+
+func TestBuildFuncSelectorErrors(t *testing.T) {
+	cal, err := NewFuncCalibration("sq", 18, []string{"v0"}, []float64{4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.BuildFuncSelector(); err == nil {
+		t.Error("BuildFuncSelector before FeatureBuckets accepted")
+	}
+	if err := cal.AddSampleFeat(Features{Key: 0.5, Valid: true}, 0, 1, 0.1); err == nil {
+		t.Error("AddSampleFeat before FeatureBuckets accepted")
+	}
+	if err := cal.FeatureBuckets([]float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.BuildFuncSelector(); err == nil {
+		t.Error("BuildFuncSelector with no complete bucket accepted")
+	}
+}
+
+// --- pipeline equivalence: no Selector => bit-identical ---------------
+
+// TestExecFeatEquivalence drives two identical loops through the same
+// schedule, one via Begin and one via ExecFeat, with no Selector
+// installed: every counter, level, and loss sum must match bit for bit.
+func TestExecFeatEquivalence(t *testing.T) {
+	mk := func() *Loop {
+		l, err := NewLoop(LoopConfig{Name: "l", Model: testLoopModel(t), SLA: 0.05, SampleInterval: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	reactive, featful := mk(), mk()
+	f := Features{Key: 7, Aux1: 2, Valid: true}
+	for i := 0; i < 30; i++ {
+		q1, q2 := &fakeQoS{lossValue: 0.04}, &fakeQoS{lossValue: 0.04}
+		e1, err := reactive.Begin(q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, n1 := runLoop(t, e1, 3200)
+		e2, err := featful.ExecFeat(q2, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, n2 := runLoop(t, e2, 3200)
+		if r1 != r2 || n1 != n2 {
+			t.Fatalf("iteration %d diverged: %+v/%d vs %+v/%d", i, r1, n1, r2, n2)
+		}
+	}
+	s1, s2 := reactive.State(), featful.State()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("states diverged:\n  Begin:    %+v\n  ExecFeat: %+v", s1, s2)
+	}
+	ss := featful.SelectorStats()
+	if ss.Installed || ss.Hits != 0 || ss.Fallbacks != 0 || ss.Overrides != 0 || ss.Corrections != 0 {
+		t.Errorf("selector counters ticked with no selector installed: %+v", ss)
+	}
+}
+
+// TestExecNFeatEquivalence is the batched variant.
+func TestExecNFeatEquivalence(t *testing.T) {
+	mk := func() *Loop {
+		l, err := NewLoop(LoopConfig{Name: "l", Model: testLoopModel(t), SLA: 0.05, SampleInterval: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	drive := func(b *LoopBatch) {
+		for b.Next() {
+			// The program's own loop bound (3200) ends monitored members;
+			// approximation ends the rest earlier.
+			i := 0
+			for ; i < 3200 && b.Continue(i); i++ {
+			}
+			b.End(i)
+		}
+		b.Finish()
+	}
+	reactive, featful := mk(), mk()
+	f := Features{Key: 7, Valid: true}
+	for i := 0; i < 6; i++ {
+		b1, err := reactive.ExecN(5, &fakeQoS{lossValue: 0.04})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(b1)
+		b2, err := featful.ExecNFeat(5, &fakeQoS{lossValue: 0.04}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(b2)
+	}
+	if s1, s2 := reactive.State(), featful.State(); !reflect.DeepEqual(s1, s2) {
+		t.Errorf("states diverged:\n  ExecN:     %+v\n  ExecNFeat: %+v", s1, s2)
+	}
+}
+
+// TestCallFeatEquivalence: Call vs CallFeat and CallN vs CallNFeat on a
+// selector-less Func.
+func TestCallFeatEquivalence(t *testing.T) {
+	plain, featful := funcFixture(t, 0.05, 4), funcFixture(t, 0.05, 4)
+	f := Features{Key: 3, Valid: true}
+	for i := 0; i < 24; i++ {
+		x := float64(i%10) + 0.5
+		if y1, y2 := plain.Call(x), featful.CallFeat(x, f); y1 != y2 {
+			t.Fatalf("call %d: %v != %v", i, y1, y2)
+		}
+	}
+	if s1, s2 := plain.State(), featful.State(); !reflect.DeepEqual(s1, s2) {
+		t.Errorf("states diverged:\n  Call:     %+v\n  CallFeat: %+v", s1, s2)
+	}
+
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	y1, y2 := make([]float64, len(xs)), make([]float64, len(xs))
+	plainN, featN := funcFixture(t, 0.05, 4), funcFixture(t, 0.05, 4)
+	for i := 0; i < 5; i++ {
+		if err := plainN.CallN(xs, y1); err != nil {
+			t.Fatal(err)
+		}
+		if err := featN.CallNFeat(xs, y2, f); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(y1, y2) {
+			t.Fatalf("batch %d results diverged", i)
+		}
+	}
+	if s1, s2 := plainN.State(), featN.State(); !reflect.DeepEqual(s1, s2) {
+		t.Errorf("batch states diverged:\n  CallN:     %+v\n  CallNFeat: %+v", s1, s2)
+	}
+}
+
+// --- pipeline behavior with an installed Selector ---------------------
+
+func TestLoopExecFeatSelectorPipeline(t *testing.T) {
+	l, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.InstallSelector(selectorFixture(t))
+
+	// Heavy input: the Select stage overrides the reactive level (200)
+	// with the bucket's 800.
+	q := &fakeQoS{}
+	e, err := l.ExecFeat(q, Features{Key: 5, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, iters := runLoop(t, e, 3200)
+	if !res.Approximated || iters != 800 {
+		t.Errorf("heavy input stopped at %d (%+v), want 800", iters, res)
+	}
+	// Light input: the bucket's 100 undercuts the reactive level.
+	e, err = l.ExecFeat(&fakeQoS{}, Features{Key: 15, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, iters = runLoop(t, e, 3200); iters != 100 {
+		t.Errorf("light input stopped at %d, want 100", iters)
+	}
+	// Invalid features fall back to the reactive level.
+	e, err = l.ExecFeat(&fakeQoS{}, Features{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, iters = runLoop(t, e, 3200); iters != 200 {
+		t.Errorf("fallback input stopped at %d, want reactive 200", iters)
+	}
+	// Featureless Begin never consults the Selector.
+	e, err = l.Begin(&fakeQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, iters = runLoop(t, e, 3200); iters != 200 {
+		t.Errorf("Begin stopped at %d, want reactive 200", iters)
+	}
+
+	ss := l.SelectorStats()
+	if !ss.Installed || ss.Hits != 2 || ss.Fallbacks != 1 || ss.Overrides != 0 {
+		t.Errorf("SelectorStats = %+v, want installed, 2 hits, 1 fallback", ss)
+	}
+}
+
+func TestLoopExecFeatAdaptiveFloor(t *testing.T) {
+	l, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05, Mode: Adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.InstallSelector(selectorFixture(t))
+	e, err := l.ExecFeat(&fakeQoS{}, Features{Key: 5, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In adaptive mode the selected level replaces the iteration floor M;
+	// the Delta law still decides the exact stop.
+	if !e.selected || e.adaptive.M != 800 {
+		t.Errorf("adaptive floor = %v (selected=%v), want 800", e.adaptive.M, e.selected)
+	}
+	e.Finish(0)
+}
+
+func TestLoopExecFeatDisabledCountsOverride(t *testing.T) {
+	l, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05, Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.InstallSelector(selectorFixture(t))
+	e, err := l.ExecFeat(&fakeQoS{}, Features{Key: 5, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, iters := runLoop(t, e, 3200); iters != 3200 {
+		t.Errorf("disabled loop stopped at %d, want precise 3200", iters)
+	}
+	ss := l.SelectorStats()
+	if ss.Overrides != 1 || ss.Hits != 0 {
+		t.Errorf("SelectorStats = %+v, want the discarded choice counted as an override", ss)
+	}
+}
+
+// TestLoopSelectorCorrectStage: a monitored ExecFeat routes the measured
+// loss back into the bucket that chose the level, moving its correction
+// factor and ticking the corrections counter.
+func TestLoopSelectorCorrectStage(t *testing.T) {
+	l, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05, SampleInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selectorFixture(t)
+	l.InstallSelector(sel)
+	// Monitored execution: runs to the natural end, measures loss 0.20
+	// against the selected stop at 800 where the bucket predicted 0.04.
+	q := &fakeQoS{lossValue: 0.20}
+	e, err := l.ExecFeat(q, Features{Key: 5, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := runLoop(t, e, 3200)
+	if !res.Monitored || res.Loss != 0.20 {
+		t.Fatalf("monitored run = %+v", res)
+	}
+	if facs := sel.Factors(); math.Abs(facs[0]-1.75) > 1e-12 {
+		t.Errorf("bucket 0 factor = %v, want 1.75 after the clamped correction", facs[0])
+	}
+	if ss := l.SelectorStats(); ss.Corrections != 1 {
+		t.Errorf("Corrections = %d, want 1", ss.Corrections)
+	}
+}
+
+// --- snapshot version skew --------------------------------------------
+
+func TestLoopStateSelectorSkew(t *testing.T) {
+	mk := func(withSel bool) *Loop {
+		l, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05, SampleInterval: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withSel {
+			l.InstallSelector(selectorFixture(t))
+		}
+		return l
+	}
+
+	// Drift some state into a selector-bearing loop and snapshot it.
+	src := mk(true)
+	e, err := src.ExecFeat(&fakeQoS{lossValue: 0.20}, Features{Key: 5, Valid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLoop(t, e, 3200)
+	snap := src.State()
+	if snap.Selector == nil {
+		t.Fatal("snapshot of a selector-bearing loop lacks the selector section")
+	}
+
+	// Selector-bearing snapshot into a selector-bearing loop: the factor
+	// vector rehydrates.
+	dst := mk(true)
+	if err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if facs := dst.Selector().(*LoopSelector).Factors(); math.Abs(facs[0]-1.75) > 1e-12 {
+		t.Errorf("restored factor = %v, want 1.75", facs[0])
+	}
+
+	// Pre-selector snapshot (section absent) into a selector-bearing
+	// loop: fail-soft — the reactive law restores, the selector runs
+	// cold.
+	old := snap
+	old.Selector = nil
+	cold := mk(true)
+	if err := cold.Restore(old); err != nil {
+		t.Fatal(err)
+	}
+	if facs := cold.Selector().(*LoopSelector).Factors(); facs[0] != 1 || facs[1] != 1 {
+		t.Errorf("cold selector factors = %v, want all 1", facs)
+	}
+	if execs, _, _ := cold.Stats(); execs != snap.Count {
+		t.Errorf("reactive counters did not restore: count %d, want %d", execs, snap.Count)
+	}
+
+	// Selector-bearing snapshot into a selector-less loop: the section is
+	// dropped, everything else restores.
+	bare := mk(false)
+	if err := bare.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if execs, _, _ := bare.Stats(); execs != snap.Count {
+		t.Errorf("selector-less restore lost the counters: %d, want %d", execs, snap.Count)
+	}
+
+	// A present-but-corrupt section rejects the whole restore before
+	// anything mutates.
+	bad := snap
+	bad.Selector = &SelectorState{Version: 1, Kind: "loop", Factors: []float64{math.NaN(), 1}}
+	victim := mk(true)
+	if err := victim.Restore(bad); err == nil {
+		t.Fatal("corrupt selector section accepted")
+	}
+	if execs, _, _ := victim.Stats(); execs != 0 {
+		t.Errorf("rejected restore mutated the counters: count %d", execs)
+	}
+	if facs := victim.Selector().(*LoopSelector).Factors(); facs[0] != 1 {
+		t.Errorf("rejected restore mutated the selector: %v", facs)
+	}
+
+	// Mis-shaped (wrong bucket count) sections reject too.
+	short := snap
+	short.Selector = &SelectorState{Version: 1, Kind: "loop", Factors: []float64{1}}
+	if err := mk(true).Restore(short); err == nil {
+		t.Error("mis-shaped selector section accepted")
+	}
+}
+
+// TestLoopStateSelectorJSONSkew exercises the same skew through the JSON
+// layer a real snapshot bundle travels.
+func TestLoopStateSelectorJSONSkew(t *testing.T) {
+	src, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-selector bundle: marshalled from a selector-less loop, so the
+	// "selector" key is absent entirely.
+	data, err := src.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewLoop(LoopConfig{Name: "loop", Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.InstallSelector(selectorFixture(t))
+	if err := dst.RestoreStateJSON(data); err != nil {
+		t.Fatalf("pre-selector JSON rejected: %v", err)
+	}
+	if facs := dst.Selector().(*LoopSelector).Factors(); facs[0] != 1 {
+		t.Errorf("pre-selector JSON warmed the selector: %v", facs)
+	}
+}
+
+// --- hot path: zero allocations ---------------------------------------
+
+// TestExecFeatSteadyStateAllocationFree: the featureful entry point must
+// match Begin's zero-allocation steady state, both with the nil-selector
+// fast path and with a Selector installed.
+func TestExecFeatSteadyStateAllocationFree(t *testing.T) {
+	run := func(l *Loop, f Features) float64 {
+		q := &fakeQoS{}
+		return testing.AllocsPerRun(200, func() {
+			e, err := l.ExecFeat(q, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			for ; e.Continue(i); i++ {
+			}
+			e.Finish(i)
+		})
+	}
+	bare, err := NewLoop(LoopConfig{Name: "l", Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := run(bare, Features{Key: 5, Valid: true}); allocs != 0 {
+		t.Errorf("nil-selector ExecFeat allocates %v objects/op, want 0", allocs)
+	}
+	sel, err := NewLoop(LoopConfig{Name: "l", Model: testLoopModel(t), SLA: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel.InstallSelector(selectorFixture(t))
+	if allocs := run(sel, Features{Key: 15, Valid: true}); allocs != 0 {
+		t.Errorf("selector ExecFeat allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -67,6 +67,12 @@ type LoopState struct {
 	AdaptiveM     float64 `json:"adaptive_m"`
 	AdaptivePer   float64 `json:"adaptive_period"`
 	AdaptiveDelta float64 `json:"adaptive_delta"`
+	// Selector is the versioned Select-stage section: the installed
+	// selector's per-bucket correction factors. Absent (nil) in
+	// pre-selector snapshots and when no selector is installed —
+	// restores then leave the selector state cold (fail-soft) while the
+	// reactive law restores as always.
+	Selector *SelectorState `json:"selector,omitempty"`
 }
 
 // State snapshots the loop's runtime state. The lock only fences out
@@ -76,7 +82,7 @@ func (l *Loop) State() LoopState {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := l.state.Load()
-	return LoopState{
+	s := LoopState{
 		Name:      l.cfg.Name,
 		Level:     st.level,
 		Interval:  int(l.interval.Load()),
@@ -88,6 +94,11 @@ func (l *Loop) State() LoopState {
 		AdaptiveM: st.adaptive.M, AdaptivePer: st.adaptive.Period,
 		AdaptiveDelta: st.adaptive.TargetDelta,
 	}
+	if sel := l.Selector(); sel != nil {
+		ss := sel.State()
+		s.Selector = &ss
+	}
+	return s
 }
 
 // Restore applies a previously snapshotted state. The state must belong
@@ -110,6 +121,18 @@ func (l *Loop) Restore(s LoopState) error {
 		s.AdaptiveM < 0 || s.AdaptivePer < 0 || s.AdaptiveDelta < 0 {
 		return fmt.Errorf("core: loop state: implausible adaptive parameters (M=%v Period=%v TargetDelta=%v)",
 			s.AdaptiveM, s.AdaptivePer, s.AdaptiveDelta)
+	}
+	// Selector section, version skew both ways: a pre-selector snapshot
+	// (section absent) restores fail-soft — reactive law intact,
+	// selector state cold — and a selector-bearing snapshot restores
+	// into a selector-less controller by dropping the section. A present
+	// section that fails validation rejects the whole restore before
+	// anything mutates.
+	sel := l.Selector()
+	if s.Selector != nil && sel != nil {
+		if err := sel.Restore(*s.Selector); err != nil {
+			return err
+		}
 	}
 	l.restoreCounters(int64(s.Interval), s.Count, s.Monitored, s.LossSum, func(next *loopState) {
 		next.level = s.Level
@@ -151,6 +174,9 @@ type FuncState struct {
 	Monitored int64   `json:"monitored"`
 	LossSum   float64 `json:"loss_sum"`
 	WorkMilli int64   `json:"work_milli"`
+	// Selector is the versioned Select-stage section (see
+	// LoopState.Selector).
+	Selector *SelectorState `json:"selector,omitempty"`
 }
 
 // State snapshots the function controller's runtime state.
@@ -158,7 +184,7 @@ func (f *Func) State() FuncState {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.state.Load()
-	return FuncState{
+	s := FuncState{
 		Name:      f.cfg.Name,
 		Offset:    st.offset,
 		Interval:  f.interval.Load(),
@@ -169,6 +195,11 @@ func (f *Func) State() FuncState {
 		LossSum:   f.lossSum(),
 		WorkMilli: f.workMilli.Load(),
 	}
+	if sel := f.Selector(); sel != nil {
+		ss := sel.State()
+		s.Selector = &ss
+	}
+	return s
 }
 
 // Restore applies a previously snapshotted state. The state must belong
@@ -186,6 +217,13 @@ func (f *Func) Restore(s FuncState) error {
 	}
 	if s.WorkMilli < 0 {
 		return fmt.Errorf("core: func state: negative accumulated work %d", s.WorkMilli)
+	}
+	// Selector section: same skew rules as Loop.Restore.
+	sel := f.Selector()
+	if s.Selector != nil && sel != nil {
+		if err := sel.Restore(*s.Selector); err != nil {
+			return err
+		}
 	}
 	f.restoreCounters(s.Interval, s.Count, s.Monitored, s.LossSum, func(next *funcState) {
 		next.offset = s.Offset

@@ -1,0 +1,66 @@
+package nondet
+
+import (
+	"math/rand"
+	"time"
+
+	"green/internal/core"
+)
+
+// jitterSelector is a Selector implementation that breaks the
+// Select-stage determinism contract: level choice and drift correction
+// must be pure functions of the features and the calibrated curves.
+type jitterSelector struct {
+	base   float64
+	levels []float64
+}
+
+// Select dithers the chosen level from the global rand source — two
+// identical queries get different approximation levels.
+func (s *jitterSelector) Select(f core.Features, sla float64) (float64, bool) {
+	if !f.Valid {
+		return 0, false
+	}
+	i := rand.Intn(len(s.levels)) // want "draws from the global source in Select-stage code"
+	return s.levels[i], true
+}
+
+// Correct gates the drift repair on the wall clock, so the factor walk
+// depends on when the process runs rather than on what it observed.
+func (s *jitterSelector) Correct(f core.Features, level, loss float64) bool {
+	return time.Now().UnixNano()%2 == 0 // want "time.Now in Select-stage code"
+}
+
+func (s *jitterSelector) State() core.SelectorState {
+	return core.SelectorState{Version: 1, Kind: "loop"}
+}
+
+func (s *jitterSelector) Restore(core.SelectorState) error { return nil }
+
+// stepSelector is the clean counterpart: deterministic threshold
+// selection and a fixed-gain correction, no diagnostics.
+type stepSelector struct {
+	cut, lo, hi float64
+}
+
+func (s *stepSelector) Select(f core.Features, sla float64) (float64, bool) {
+	if !f.Valid {
+		return 0, false
+	}
+	if f.Key < s.cut {
+		return s.lo, true
+	}
+	return s.hi, true
+}
+
+func (s *stepSelector) Correct(f core.Features, level, loss float64) bool {
+	return loss > 0 && level < s.hi
+}
+
+// selectish has the method names but not the Features signature; an
+// unrelated Select is not Select-stage context.
+type selectish struct{}
+
+func (selectish) Select(column string, limit int) time.Time {
+	return time.Now() // operational: not a Selector
+}

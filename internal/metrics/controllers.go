@@ -22,8 +22,20 @@ type ControllerStats struct {
 	Monitored  int64 `json:"monitored"`
 	// MeanLoss is the mean observed QoS loss over monitored executions.
 	MeanLoss float64 `json:"mean_loss"`
+	// SampleInterval is the live Sample_QoS interval (zero when
+	// monitoring is disabled).
+	SampleInterval int64 `json:"sample_interval"`
+	// LastRecalSeq/LastRecalAction identify the most recent monitored
+	// execution whose observation ran the recalibration policy (zero /
+	// "none" before any).
+	LastRecalSeq    int64  `json:"last_recal_seq"`
+	LastRecalAction string `json:"last_recal_action"`
 	// ApproxEnabled reports whether approximation is currently active.
 	ApproxEnabled bool `json:"approx_enabled"`
+	// Selector is the Select-stage snapshot: whether a per-input
+	// selector is installed and its hit/fallback/override/correction
+	// counters.
+	Selector core.SelectorStats `json:"selector"`
 	// Breaker is the controller's panic-containment breaker snapshot.
 	Breaker core.BreakerStats `json:"breaker"`
 }
@@ -31,15 +43,20 @@ type ControllerStats struct {
 // CollectController snapshots one controller.
 func CollectController(c core.Controller) ControllerStats {
 	executions, monitored, meanLoss := c.Stats()
+	recalSeq, recalAct := c.LastRecalibration()
 	return ControllerStats{
-		Name:          c.Name(),
-		SLA:           c.SLA(),
-		Level:         c.Level(),
-		Executions:    executions,
-		Monitored:     monitored,
-		MeanLoss:      meanLoss,
-		ApproxEnabled: c.ApproxEnabled(),
-		Breaker:       c.Breaker(),
+		Name:            c.Name(),
+		SLA:             c.SLA(),
+		Level:           c.Level(),
+		Executions:      executions,
+		Monitored:       monitored,
+		MeanLoss:        meanLoss,
+		SampleInterval:  c.SampleInterval(),
+		LastRecalSeq:    recalSeq,
+		LastRecalAction: recalAct.String(),
+		ApproxEnabled:   c.ApproxEnabled(),
+		Selector:        c.SelectorStats(),
+		Breaker:         c.Breaker(),
 	}
 }
 

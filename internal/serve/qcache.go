@@ -3,6 +3,8 @@ package serve
 import (
 	"strings"
 	"sync"
+
+	"green/internal/core"
 )
 
 // queryCache memoizes parsed queries keyed on the *raw, still-escaped*
@@ -28,10 +30,15 @@ type qcacheShard struct {
 }
 
 // cachedQuery is one parsed query: the unescaped echo string for the
-// JSON response plus the resolved vocabulary terms.
+// JSON response plus the resolved vocabulary terms. feat is the query's
+// precomputed Select-stage feature vector (posting mass and term count)
+// so the warm path hands the controller per-input features without
+// touching the index or the allocator; its cache-hit flag (Aux2) is
+// stamped per request on a copy.
 type cachedQuery struct {
 	echo  string
 	terms []int
+	feat  core.Features
 }
 
 const qcacheShards = 8

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sort"
+
+	"green/internal/core"
+)
+
+// Proactive per-input control on the serving path. With Config.Selector
+// set, calibration tags every training query with its feature vector —
+// the summed posting-list length of its terms (Key) and its term count
+// (Aux1) — and fits per-feature-bucket loss curves beside the global
+// reactive model. The built core.LoopSelector is installed on the match
+// loop, so each served query's approximation level is chosen from its
+// own bucket's curve (Select) before the scan runs, while the monitored
+// sampling stream repairs bucket-level drift (Correct). Queries outside
+// the calibrated feature domain fall back to the reactive level; the
+// /stats selector counters say how often.
+
+// selectorBuckets is the number of feature buckets the serving selector
+// partitions the posting-mass domain into. Quartiles are enough to
+// separate the short conjunctive-looking tail from the heavy Zipf head
+// without starving any bucket of calibration runs.
+const selectorBuckets = 4
+
+// queryFeat maps one parsed query onto the controller feature space:
+// Key is the summed document frequency of the query's terms (the upper
+// bound on its match count — the property that determines how many
+// scanned documents a given top-N page needs), Aux1 the term count.
+// The cache-hit flag (Aux2) is stamped per request by handleSearch.
+func (s *Server) queryFeat(terms []int) core.Features {
+	if len(terms) == 0 {
+		return core.Features{}
+	}
+	mass := 0
+	for _, t := range terms {
+		mass += s.engine.DocFreq(t)
+	}
+	return core.Features{Key: float64(mass), Aux1: float64(len(terms)), Valid: true}
+}
+
+// featureEdges derives strictly-ascending bucket edges from the
+// calibration queries' feature keys: quantile cut points, deduplicated,
+// with the top edge padded to twice the observed maximum so serving
+// queries somewhat heavier than any calibration query still land in the
+// last bucket instead of falling back to the reactive law. Returns nil
+// when the key distribution is too degenerate to bucket (fewer than two
+// distinct edges) — the caller then serves reactive-only.
+func featureEdges(keys []float64, buckets int) []float64 {
+	if len(keys) == 0 || buckets < 1 {
+		return nil
+	}
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	edges := make([]float64, 0, buckets+1)
+	edges = append(edges, sorted[0])
+	for b := 1; b < buckets; b++ {
+		q := sorted[b*len(sorted)/buckets]
+		if q > edges[len(edges)-1] {
+			edges = append(edges, q)
+		}
+	}
+	top := sorted[len(sorted)-1] * 2
+	if top <= edges[len(edges)-1] {
+		top = edges[len(edges)-1] + 1
+	}
+	return append(edges, top)
+}

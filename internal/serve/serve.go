@@ -85,6 +85,14 @@ type Config struct {
 	// loop controller is still installed, but QoS_Approx always answers
 	// "do not approximate".
 	Disabled bool
+	// Selector enables the proactive Select stage on the match loop:
+	// calibration additionally fits per-feature-bucket loss curves
+	// (bucketed on summed posting-list length) and installs the built
+	// selector, so each query's approximation level is chosen from its
+	// own bucket before the scan runs instead of the one fleet-wide
+	// reactive level. Off by default — the reactive law alone is the
+	// paper's configuration.
+	Selector bool
 	// ApproxAnd installs a second approximation site: the conjunctive
 	// (mode=and) scan runs under its own loop controller, calibrated
 	// against the precise conjunctive results. Off by default —
@@ -220,7 +228,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	knots := []float64{100, 250, 500, 1000, 2500, 5000, 10000}
-	m, err := s.calibrateLoop(snapshotName, knots, calQueries, func(q search.Query, maxDocs int) ([]int, int) {
+	var feat func(search.Query) core.Features
+	if c.Selector {
+		feat = func(q search.Query) core.Features { return s.queryFeat(q.Terms) }
+	}
+	m, sel, err := s.calibrateLoop(snapshotName, knots, calQueries, feat, func(q search.Query, maxDocs int) ([]int, int) {
 		return engine.Search(q, c.TopN, maxDocs)
 	})
 	if err != nil {
@@ -229,6 +241,11 @@ func New(cfg Config) (*Server, error) {
 	s.loop, err = s.newServeLoop(snapshotName, m)
 	if err != nil {
 		return nil, err
+	}
+	if sel != nil {
+		// Install before any restore so a selector-bearing snapshot can
+		// rehydrate the bucket correction factors.
+		s.loop.InstallSelector(sel)
 	}
 	if err := s.reg.Register(s.loop); err != nil {
 		return nil, err
@@ -244,7 +261,7 @@ func New(cfg Config) (*Server, error) {
 		// Conjunctive match streams are much shorter than disjunctive
 		// ones, so the candidate levels sit correspondingly lower.
 		andKnots := []float64{5, 10, 25, 50, 100, 250}
-		mAnd, err := s.calibrateLoop(andLoopName, andKnots, calQueries, func(q search.Query, maxDocs int) ([]int, int) {
+		mAnd, _, err := s.calibrateLoop(andLoopName, andKnots, calQueries, nil, func(q search.Query, maxDocs int) ([]int, int) {
 			return engine.SearchAnd(q, c.TopN, maxDocs)
 		})
 		if err != nil {
@@ -272,12 +289,30 @@ func New(cfg Config) (*Server, error) {
 // calibrateLoop runs the calibration phase for one scan shape: for each
 // training query, the loss and work of capping the scan at each
 // candidate level, against the uncapped (precise) result of the same
-// run function.
-func (s *Server) calibrateLoop(name string, knots []float64, calQueries []search.Query, run func(q search.Query, maxDocs int) ([]int, int)) (*model.LoopModel, error) {
+// run function. A non-nil feat function additionally tags every run
+// with its query's feature vector (bucket edges derived from the
+// training distribution's quartiles) and builds the per-input selector
+// beside the reactive model; a degenerate feature distribution silently
+// yields no selector (reactive-only).
+func (s *Server) calibrateLoop(name string, knots []float64, calQueries []search.Query, feat func(search.Query) core.Features, run func(q search.Query, maxDocs int) ([]int, int)) (*model.LoopModel, *core.LoopSelector, error) {
 	baseLevel := float64(s.engine.Docs())
 	cal, err := core.NewLoopCalibration(name, knots, baseLevel, baseLevel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if feat != nil {
+		keys := make([]float64, 0, len(calQueries))
+		for _, q := range calQueries {
+			if f := feat(q); f.Valid {
+				keys = append(keys, f.Key)
+			}
+		}
+		edges := featureEdges(keys, selectorBuckets)
+		if edges == nil {
+			feat = nil
+		} else if err := cal.FeatureBuckets(edges); err != nil {
+			return nil, nil, err
+		}
 	}
 	losses := make([]float64, len(knots))
 	work := make([]float64, len(knots))
@@ -288,11 +323,23 @@ func (s *Server) calibrateLoop(name string, knots []float64, calQueries []search
 			losses[i] = metrics.QueryLoss(precise, approx)
 			work[i] = float64(processed)
 		}
-		if err := cal.AddRun(losses, work); err != nil {
-			return nil, err
+		if feat != nil {
+			if err := cal.AddRunFeat(feat(q), losses, work); err != nil {
+				return nil, nil, err
+			}
+		} else if err := cal.AddRun(losses, work); err != nil {
+			return nil, nil, err
 		}
 	}
-	return cal.Build()
+	m, err := cal.Build()
+	if err != nil || feat == nil {
+		return m, nil, err
+	}
+	sel, err := cal.BuildSelector()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, sel, nil
 }
 
 // newServeLoop constructs one serving loop controller with the
@@ -729,12 +776,12 @@ func (sc *serveScratch) release() {
 // far are returned, marked degraded. and selects the conjunctive QoS
 // comparison (the monitored precise rerun must execute the same
 // retrieval semantics as the approximated scan).
-func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.Loop, scan docScanner, q search.Query, and bool, sc *serveScratch) error {
+func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.Loop, scan docScanner, q search.Query, feat core.Features, and bool, sc *serveScratch) error {
 	qos := serveQoSPool.Get().(*serveQoS)
 	qos.engine, qos.query, qos.topN = s.engine, q, s.cfg.TopN
 	qos.chaos = s.cfg.Chaos
 	qos.and = and
-	exec, err := loop.Begin(qos)
+	exec, err := loop.ExecFeat(qos, feat)
 	if err != nil {
 		qos.release()
 		return err
@@ -794,22 +841,25 @@ func (s *Server) serveQuery(ctx context.Context, deadline time.Time, loop *core.
 }
 
 // parsedQuery resolves the raw q parameter value through the
-// preparsed-query cache; a miss unescapes, tokenizes, and populates the
-// cache. A nil return means the query was empty or unparseable (the
-// caller 400s).
-func (s *Server) parsedQuery(rawQ string) *cachedQuery {
+// preparsed-query cache; a miss unescapes, tokenizes, computes the
+// query's Select-stage features, and populates the cache. A nil return
+// means the query was empty or unparseable (the caller 400s). cached
+// reports whether the parse was served from the cache (the hit state
+// feeds the feature vector's Aux2).
+func (s *Server) parsedQuery(rawQ string) (cq *cachedQuery, cached bool) {
 	if cq := s.qcache.get(rawQ); cq != nil {
 		s.ops.QueryCacheHits.Add(1)
-		return cq
+		return cq, true
 	}
 	s.ops.QueryCacheMisses.Add(1)
 	qstr, err := url.QueryUnescape(rawQ)
 	if err != nil || strings.TrimSpace(qstr) == "" {
-		return nil
+		return nil, false
 	}
-	cq := &cachedQuery{echo: qstr, terms: s.termsOf(qstr)}
+	terms := s.termsOf(qstr)
+	cq = &cachedQuery{echo: qstr, terms: terms, feat: s.queryFeat(terms)}
 	s.qcache.put(rawQ, cq)
-	return cq
+	return cq, false
 }
 
 // handleSearch serves one query. The handler is side-effect-free per
@@ -825,12 +875,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	cq := s.parsedQuery(rawQ)
+	cq, cached := s.parsedQuery(rawQ)
 	if cq == nil {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
 	q := search.Query{Terms: cq.terms}
+	feat := cq.feat
+	if cached {
+		feat.Aux2 = 1
+	}
 	mode, _ := rawParam(r.URL.RawQuery, "mode")
 	scoresParam, _ := rawParam(r.URL.RawQuery, "scores")
 	wantScores := scoresParam == "1"
@@ -839,7 +893,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		sc := scratchPool.Get().(*serveScratch)
 		sc.wantScores = wantScores
 		sc.scan.Reset(s.engine, q, s.cfg.TopN)
-		if err := s.serveQuery(r.Context(), s.requestDeadline(), s.loop, &sc.scan, q, false, sc); err != nil {
+		if err := s.serveQuery(r.Context(), s.requestDeadline(), s.loop, &sc.scan, q, feat, false, sc); err != nil {
 			sc.release()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -854,7 +908,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			sc := scratchPool.Get().(*serveScratch)
 			sc.wantScores = wantScores
 			sc.scanAnd.Reset(s.engine, q, s.cfg.TopN)
-			if err := s.serveQuery(r.Context(), s.requestDeadline(), s.and, &sc.scanAnd, q, true, sc); err != nil {
+			if err := s.serveQuery(r.Context(), s.requestDeadline(), s.and, &sc.scanAnd, q, feat, true, sc); err != nil {
 				sc.release()
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return

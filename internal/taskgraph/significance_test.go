@@ -1,0 +1,173 @@
+package taskgraph
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTagSignificance: tags are deterministic, in (0,1], survive
+// Validate, and rank tasks by downstream critical-path reach — an
+// entry-side task on the longest chain outranks the exit task below it.
+func TestTagSignificance(t *testing.T) {
+	g, err := Random(11, 120, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TagSignificance()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("tagged graph fails validation: %v", err)
+	}
+	if len(g.Significance) != g.N() {
+		t.Fatalf("significance length %d != %d tasks", len(g.Significance), g.N())
+	}
+	max := 0.0
+	for i, s := range g.Significance {
+		if !(s > 0 && s <= 1) {
+			t.Fatalf("significance[%d] = %v outside (0, 1]", i, s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max != 1 {
+		t.Errorf("max significance = %v, want exactly 1 (normalized)", max)
+	}
+	// A predecessor's reach strictly contains every successor's chain
+	// (reach[u] >= w[u] + reach[v] > reach[v]), so significance strictly
+	// decreases along every edge.
+	for u, es := range g.Succs {
+		for _, e := range es {
+			if g.Significance[u] <= g.Significance[e.To] {
+				t.Fatalf("significance[%d]=%v not above successor %d's %v", u, g.Significance[u], e.To, g.Significance[e.To])
+			}
+		}
+	}
+
+	// Determinism: retagging reproduces the same vector.
+	first := append([]float64(nil), g.Significance...)
+	g.TagSignificance()
+	for i := range first {
+		if first[i] != g.Significance[i] {
+			t.Fatalf("retagging changed significance[%d]", i)
+		}
+	}
+}
+
+// TestSignificanceValidate rejects mis-shaped and out-of-range vectors.
+func TestSignificanceValidate(t *testing.T) {
+	g, err := Random(3, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Significance = []float64{0.5}
+	if err := g.Validate(); err == nil {
+		t.Error("short significance vector accepted")
+	}
+	g.Significance = make([]float64, g.N())
+	for i := range g.Significance {
+		g.Significance[i] = 0.5
+	}
+	g.Significance[3] = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero significance accepted")
+	}
+	g.Significance[3] = 1.5
+	if err := g.Validate(); err == nil {
+		t.Error("significance above 1 accepted")
+	}
+	g.Significance[3] = math.NaN()
+	if err := g.Validate(); err == nil {
+		t.Error("NaN significance accepted")
+	}
+}
+
+// TestSigFloorForBudget maps work budgets onto floors: keep=1 coarsens
+// nothing, smaller budgets coarsen the low-significance tail, and the
+// untagged graph never coarsens.
+func TestSigFloorForBudget(t *testing.T) {
+	g, err := Random(5, 200, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor := g.SigFloorForBudget(0.5); floor != 0 {
+		t.Errorf("untagged graph floor = %v, want 0", floor)
+	}
+	g.TagSignificance()
+	if floor := g.SigFloorForBudget(1); floor != 0 {
+		t.Errorf("keep=1 floor = %v, want 0", floor)
+	}
+	floor := g.SigFloorForBudget(0.5)
+	if floor <= 0 {
+		t.Fatalf("keep=0.5 floor = %v, want > 0", floor)
+	}
+	kept := 0
+	for _, s := range g.Significance {
+		if s >= floor {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(g.N())
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("keep=0.5 retains %.2f of tasks, want ~0.5", frac)
+	}
+	if tight := g.SigFloorForBudget(0.1); tight <= floor {
+		t.Errorf("keep=0.1 floor %v not above keep=0.5 floor %v", tight, floor)
+	}
+}
+
+// TestMakespanApprox: floor 0 matches the exact evaluation bit for bit,
+// a positive floor skips exactly the below-floor tasks and never
+// overestimates, and argument validation mirrors Makespan.
+func TestMakespanApprox(t *testing.T) {
+	g, err := Random(7, 150, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TagSignificance()
+	assign := make([]int, g.N())
+	for i := range assign {
+		assign[i] = i % 4
+	}
+	exact, err := g.Makespan(assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, skipped, err := g.MakespanApprox(assign, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != exact || skipped != 0 {
+		t.Fatalf("floor 0: (%v, %d), want exact (%v, 0)", span, skipped, exact)
+	}
+
+	floor := g.SigFloorForBudget(0.5)
+	span, skipped, err = g.MakespanApprox(assign, 4, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, s := range g.Significance {
+		if s < floor {
+			below++
+		}
+	}
+	if skipped != below {
+		t.Errorf("skipped %d tasks, want the %d below the floor", skipped, below)
+	}
+	if skipped == 0 {
+		t.Fatal("no tasks coarsened at keep=0.5 (test graph degenerate)")
+	}
+	if span > exact+1e-9 {
+		t.Errorf("approx span %v above exact %v (must be optimistic)", span, exact)
+	}
+	if span <= 0 {
+		t.Errorf("approx span %v not positive", span)
+	}
+
+	if _, _, err := g.MakespanApprox(assign[:3], 4, floor); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, _, err := g.MakespanApprox(assign, 0, floor); err == nil {
+		t.Error("zero processors accepted")
+	}
+}

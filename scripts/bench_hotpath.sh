@@ -1,9 +1,9 @@
 #!/bin/sh
 # Records the operational-hot-path perf trajectory: runs the
-# BenchmarkLoopHotPath* / BenchmarkLoopExecN / BenchmarkFuncCallN /
-# BenchmarkFunc2CallN / BenchmarkFunc2HotPath* / BenchmarkServeQPS /
-# BenchmarkClusterScatter / BenchmarkCombineSearchSpace families and
-# emits one JSON object
+# BenchmarkLoopHotPath* / BenchmarkLoopExecFeat* / BenchmarkLoopExecN /
+# BenchmarkFuncCallN / BenchmarkFunc2CallN / BenchmarkFunc2HotPath* /
+# BenchmarkServeQPS / BenchmarkClusterScatter /
+# BenchmarkCombineSearchSpace families and emits one JSON object
 # (ns/op, allocs/op, and the combination search's evaluated-combos
 # count) suitable for a "before"/"after" entry in BENCH_hotpath.json.
 #
@@ -31,7 +31,7 @@ while [ $# -gt 0 ]; do
 	esac
 done
 
-pattern='LoopHotPath|LoopExecN|FuncCallN|Func2CallN|Func2HotPath|ServeQPS|ClusterScatter|CombineSearchSpace'
+pattern='LoopHotPath|LoopExecFeat|LoopExecN|FuncCallN|Func2CallN|Func2HotPath|ServeQPS|ClusterScatter|CombineSearchSpace'
 
 raw=""
 i=0
